@@ -1,0 +1,64 @@
+// Ablation of the buffer-pool capacity supporting the cold-buffer
+// methodology: the paper flushes "the database and system buffer ...
+// before each test", so reported disk accesses should be insensitive
+// to pool size as long as one query's working set fits. This bench
+// sweeps the pool size and confirms the plateau (and shows where
+// thrashing would start for undersized pools).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "dm/dm_query.h"
+
+namespace dm::bench {
+namespace {
+
+void BufferSweep(benchmark::State& state) {
+  const uint32_t pool_pages = static_cast<uint32_t>(state.range(0));
+  // A dedicated context per pool size (separate cache dir key is not
+  // needed: the database file is identical, only the pool differs).
+  DbOptions options;
+  options.pool_pages = pool_pages;
+  const DatasetSpec spec = SmallDatasetSpec();
+  auto ctx_or = BenchContext::Create(BenchDataDir(), spec, options);
+  if (!ctx_or.ok()) {
+    state.SkipWithError(ctx_or.status().ToString().c_str());
+    return;
+  }
+  BenchContext ctx = std::move(ctx_or).value();
+  const auto rois = ctx.SampleRois(0.10, QueryLocations());
+  const double e = ctx.dataset().LodForCutFraction(0.1);
+
+  for (auto _ : state) {
+    auto point_or = ctx.Average(rois, [&](const Rect& roi) {
+      return ctx.RunUniform(Method::kDmSingleBase, roi, e);
+    });
+    if (!point_or.ok()) {
+      state.SkipWithError(point_or.status().ToString().c_str());
+      return;
+    }
+    state.counters["DA_dm"] = point_or.value().disk_accesses;
+    auto pm_or = ctx.Average(rois, [&](const Rect& roi) {
+      return ctx.RunUniform(Method::kPm, roi, e);
+    });
+    if (!pm_or.ok()) {
+      state.SkipWithError(pm_or.status().ToString().c_str());
+      return;
+    }
+    state.counters["DA_pm"] = pm_or.value().disk_accesses;
+  }
+}
+
+BENCHMARK(BufferSweep)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dm::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// Ablation of record compression (the compressed-MTM direction of the
+// paper's reference [2], Danovaro et al.): the same Direct Mesh built
+// with flat records versus delta/varint-compressed records, compared
+// on storage footprint and query disk accesses.
+//
+// Compression shrinks each record (~2x), so more records share a page
+// and every query's heap portion drops proportionally; the index
+// portion is unchanged. Decoding cost shows up in cpu_millis, which
+// the paper already reports as negligible next to I/O.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "dem/fractal.h"
+#include "dm/dm_query.h"
+#include "dm/dm_store.h"
+#include "pm/pm_tree.h"
+#include "simplify/simplifier.h"
+#include "workload/bench_context.h"
+
+namespace dm::bench {
+namespace {
+
+struct Built {
+  std::unique_ptr<DbEnv> env;
+  std::unique_ptr<DmStore> store;
+  double max_lod = 0.0;
+  Rect bounds;
+};
+
+Built BuildVariant(bool compress) {
+  FractalParams params;
+  params.side = 193;
+  params.seed = 42;
+  const DemGrid dem = GenerateFractalDem(params);
+  const TriangleMesh base = TriangulateDem(dem);
+  const SimplifyResult sr = SimplifyMesh(base);
+  auto tree_or = PmTree::Build(base, sr);
+  if (!tree_or.ok()) std::abort();
+  const PmTree& tree = tree_or.value();
+
+  Built b;
+  const std::string path = BenchDataDir() + (compress ? "/comp_on.db"
+                                                      : "/comp_off.db");
+  b.env = std::move(DbEnv::Open(path, {})).ValueOrDie();
+  DmStoreOptions options;
+  options.compress_records = compress;
+  auto store_or = DmStore::Build(b.env.get(), base, tree, sr, options);
+  if (!store_or.ok()) std::abort();
+  b.store = std::make_unique<DmStore>(std::move(store_or).value());
+  b.max_lod = tree.max_lod();
+  b.bounds = tree.bounds();
+  return b;
+}
+
+Built& Variant(bool compress) {
+  static Built flat = BuildVariant(false);
+  static Built packed = BuildVariant(true);
+  return compress ? packed : flat;
+}
+
+void Compression(benchmark::State& state) {
+  const bool compress = state.range(0) != 0;
+  Built& b = Variant(compress);
+  DmQueryProcessor proc(b.store.get());
+
+  // A uniform query at a fine LOD plus a steep view-dependent query.
+  const Rect roi = Rect::Of(
+      b.bounds.lo_x + b.bounds.width() * 0.2,
+      b.bounds.lo_y + b.bounds.height() * 0.2,
+      b.bounds.lo_x + b.bounds.width() * 0.7,
+      b.bounds.lo_y + b.bounds.height() * 0.7);
+
+  for (auto _ : state) {
+    if (!b.env->FlushAll().ok()) {
+      state.SkipWithError("flush failed");
+      return;
+    }
+    auto uni_or = proc.ViewpointIndependent(roi, 0.0);
+    if (!uni_or.ok()) {
+      state.SkipWithError(uni_or.status().ToString().c_str());
+      return;
+    }
+    ViewQuery q;
+    q.roi = roi;
+    q.e_min = 0.0;
+    q.e_max = 0.2 * b.max_lod;
+    if (!b.env->FlushAll().ok()) {
+      state.SkipWithError("flush failed");
+      return;
+    }
+    auto view_or = proc.MultiBase(q);
+    if (!view_or.ok()) {
+      state.SkipWithError(view_or.status().ToString().c_str());
+      return;
+    }
+    state.counters["heap_pages"] =
+        static_cast<double>(b.store->heap().num_pages());
+    state.counters["DA_uniform"] =
+        static_cast<double>(uni_or.value().stats.disk_accesses);
+    state.counters["DA_view"] =
+        static_cast<double>(view_or.value().stats.disk_accesses);
+    state.counters["cpu_ms"] = uni_or.value().stats.cpu_millis +
+                               view_or.value().stats.cpu_millis;
+  }
+}
+
+BENCHMARK(Compression)->Arg(0)->Arg(1)->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dm::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Ablation of the Section 5.3 multi-base optimization: sweep the
+// maximum number of query cubes the optimizer may use and report the
+// measured disk accesses next to the cost model's estimate. max_cubes
+// = 1 degenerates to the single-base algorithm, so the sweep shows
+// where the recursive halving stops paying off (the paper's trade-off:
+// "the more range queries used, the less the total amount of data
+// retrieved. At the same time, the cost related to the number of
+// queries executed increases").
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "dm/cost_model.h"
+#include "dm/dm_query.h"
+
+namespace dm::bench {
+namespace {
+
+void MultiBaseCubes(benchmark::State& state, bool crater) {
+  BenchContext& ctx = GetContext(crater);
+  const int max_cubes = static_cast<int>(state.range(0));
+  const auto rois = ctx.SampleRois(0.15, QueryLocations());
+  const double e_min = ctx.dataset().LodForCutFraction(0.5);
+
+  double avg_da = 0;
+  double avg_cubes = 0;
+  double avg_nodes = 0;
+  for (auto _ : state) {
+    avg_da = avg_cubes = avg_nodes = 0;
+    for (const Rect& roi : rois) {
+      const ViewQuery q =
+          ViewQuery::FromAngle(roi, e_min, 0.7, ctx.dataset().max_lod);
+      // Count the cubes the optimizer actually picks.
+      const auto cubes = OptimizeMultiBase(
+          ctx.dataset().dm->cost_inputs(), q.roi, q.gradient_along_y,
+          [&](double t) { return q.EAt(t); }, max_cubes);
+      avg_cubes += static_cast<double>(cubes.size());
+
+      if (!ctx.dataset().dm_env->FlushAll().ok()) {
+        state.SkipWithError("flush failed");
+        return;
+      }
+      DmQueryProcessor proc(&*ctx.mutable_dataset().dm);
+      auto r_or = proc.MultiBase(q, max_cubes);
+      if (!r_or.ok()) {
+        state.SkipWithError(r_or.status().ToString().c_str());
+        return;
+      }
+      avg_da += static_cast<double>(r_or.value().stats.disk_accesses);
+      avg_nodes += static_cast<double>(r_or.value().stats.nodes_fetched);
+    }
+    const double n = static_cast<double>(rois.size());
+    avg_da /= n;
+    avg_cubes /= n;
+    avg_nodes /= n;
+    state.counters["DA"] = avg_da;
+    state.counters["cubes"] = avg_cubes;
+    state.counters["nodes"] = avg_nodes;
+  }
+}
+
+BENCHMARK_CAPTURE(MultiBaseCubes, small, false)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(64)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(MultiBaseCubes, crater, true)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(64)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dm::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Ablation of the page size: rebuilds the 'small' dataset at several
+// page sizes and reports disk accesses for a fixed uniform query mix.
+// Bigger pages cut the access count roughly proportionally (fewer,
+// larger transfers) but each access moves more data; the paper's
+// Oracle setup fixes this at the block size, so this ablation shows
+// how sensitive the DM-vs-PM gap is to that constant.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <sys/stat.h>
+
+#include "bench_util.h"
+
+namespace dm::bench {
+namespace {
+
+void PageSizeSweep(benchmark::State& state) {
+  const uint32_t page_size = static_cast<uint32_t>(state.range(0));
+  DbOptions options;
+  options.page_size = page_size;
+  // Page size changes the on-disk layout: use a size-specific cache
+  // directory so the builds do not clobber each other.
+  const std::string dir =
+      BenchDataDir() + "/ps" + std::to_string(page_size);
+  ::mkdir(dir.c_str(), 0755);
+  DatasetSpec spec = SmallDatasetSpec();
+
+  auto ctx_or = BenchContext::Create(dir, spec, options);
+  if (!ctx_or.ok()) {
+    state.SkipWithError(ctx_or.status().ToString().c_str());
+    return;
+  }
+  BenchContext ctx = std::move(ctx_or).value();
+  const auto rois = ctx.SampleRois(0.10, QueryLocations());
+  const double e = ctx.dataset().LodForCutFraction(0.1);
+
+  for (auto _ : state) {
+    for (Method m : {Method::kDmSingleBase, Method::kPm}) {
+      auto point_or = ctx.Average(rois, [&](const Rect& roi) {
+        return ctx.RunUniform(m, roi, e);
+      });
+      if (!point_or.ok()) {
+        state.SkipWithError(point_or.status().ToString().c_str());
+        return;
+      }
+      state.counters[std::string("DA_") + MethodName(m)] =
+          point_or.value().disk_accesses;
+      state.counters[std::string("KiB_") + MethodName(m)] =
+          point_or.value().disk_accesses * page_size / 1024.0;
+    }
+  }
+}
+
+BENCHMARK(PageSizeSweep)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Arg(4096)
+    ->Arg(8192)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dm::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Ablation of the HDoV-tree's visibility selection: viewpoint-
+// dependent queries with the stored degree-of-visibility either used
+// (occluded regions accept coarser LODs) or ignored (plain LOD-R-tree
+// behaviour).
+//
+// The paper's Section 6.2 finding: "the visibility selection does not
+// help the HDoV-tree much because obstruction among the areas of the
+// terrain is not as much as in the synthetic city model" — on open
+// terrain the two curves should nearly coincide, with the caldera
+// (real interior occlusion) showing the larger, still modest, gap.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace dm::bench {
+namespace {
+
+void VisibilityToggle(benchmark::State& state, bool crater) {
+  BenchContext& ctx = GetContext(crater);
+  const bool use_visibility = state.range(0) != 0;
+  const auto rois = ctx.SampleRois(0.15, QueryLocations());
+  const double e_min = ctx.dataset().LodForCutFraction(0.5);
+
+  for (auto _ : state) {
+    double avg_da = 0;
+    double avg_points = 0;
+    for (const Rect& roi : rois) {
+      const ViewQuery q =
+          ViewQuery::FromAngle(roi, e_min, 0.5, ctx.dataset().max_lod);
+      const Point2 viewer{(roi.lo_x + roi.hi_x) / 2, roi.lo_y};
+      if (!ctx.mutable_dataset().hdov_env->FlushAll().ok()) {
+        state.SkipWithError("flush failed");
+        return;
+      }
+      auto r_or = ctx.mutable_dataset().hdov->ViewDependent(q, viewer,
+                                                            use_visibility);
+      if (!r_or.ok()) {
+        state.SkipWithError(r_or.status().ToString().c_str());
+        return;
+      }
+      avg_da += static_cast<double>(r_or.value().stats.disk_accesses);
+      avg_points += static_cast<double>(r_or.value().vertices.size());
+    }
+    const double n = static_cast<double>(rois.size());
+    state.counters["DA"] = avg_da / n;
+    state.counters["points"] = avg_points / n;
+  }
+}
+
+BENCHMARK_CAPTURE(VisibilityToggle, small, false)
+    ->Arg(1)
+    ->Arg(0)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(VisibilityToggle, crater, true)
+    ->Arg(1)
+    ->Arg(0)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dm::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+#ifndef DIRECTMESH_BENCH_BENCH_UTIL_H_
+#define DIRECTMESH_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/bench_context.h"
+
+namespace dm::bench {
+
+/// Number of random query locations averaged per data point (the paper
+/// uses 20); override with DM_BENCH_LOCATIONS for quick runs.
+inline int QueryLocations() {
+  const char* v = std::getenv("DM_BENCH_LOCATIONS");
+  const int n = v != nullptr ? std::atoi(v) : 20;
+  return n > 0 ? n : 20;
+}
+
+/// Lazily built, process-wide contexts for the two paper datasets.
+inline BenchContext& GetContext(bool crater) {
+  static std::unique_ptr<BenchContext> small;
+  static std::unique_ptr<BenchContext> big;
+  auto& slot = crater ? big : small;
+  if (!slot) {
+    const DatasetSpec spec =
+        crater ? CraterDatasetSpec() : SmallDatasetSpec();
+    std::fprintf(stderr, "[bench] preparing dataset '%s' (%d x %d)...\n",
+                 spec.name.c_str(), spec.side, spec.side);
+    auto ctx_or = BenchContext::Create(BenchDataDir(), spec);
+    if (!ctx_or.ok()) {
+      std::fprintf(stderr, "dataset build failed: %s\n",
+                   ctx_or.status().ToString().c_str());
+      std::abort();
+    }
+    slot = std::make_unique<BenchContext>(std::move(ctx_or).value());
+    std::fprintf(stderr,
+                 "[bench] '%s' ready: %lld points, %lld PM nodes, "
+                 "max LOD %.3f\n",
+                 spec.name.c_str(),
+                 static_cast<long long>(slot->dataset().num_leaves),
+                 static_cast<long long>(slot->dataset().num_nodes),
+                 slot->dataset().max_lod);
+  }
+  return *slot;
+}
+
+/// Collects the series so each binary can end by printing the figure
+/// the same way the paper plots it: one row per x value, one column
+/// per method.
+class FigureTable {
+ public:
+  explicit FigureTable(std::string title) : title_(std::move(title)) {}
+
+  void Add(double x, Method m, double da) { rows_[x][m] = da; }
+
+  void Print() const {
+    std::printf("\n=== %s ===\n", title_.c_str());
+    std::printf("%10s", "x");
+    for (Method m : {Method::kDmSingleBase, Method::kDmMultiBase,
+                     Method::kPm, Method::kHdov}) {
+      bool any = false;
+      for (const auto& [x, cols] : rows_) any |= cols.count(m) > 0;
+      if (any) std::printf("%12s", MethodName(m));
+    }
+    std::printf("\n");
+    for (const auto& [x, cols] : rows_) {
+      std::printf("%10.3f", x);
+      for (Method m : {Method::kDmSingleBase, Method::kDmMultiBase,
+                       Method::kPm, Method::kHdov}) {
+        bool any = false;
+        for (const auto& [x2, cols2] : rows_) any |= cols2.count(m) > 0;
+        if (!any) continue;
+        auto it = cols.find(m);
+        if (it != cols.end()) {
+          std::printf("%12.1f", it->second);
+        } else {
+          std::printf("%12s", "-");
+        }
+      }
+      std::printf("\n");
+    }
+  }
+
+ private:
+  std::string title_;
+  std::map<double, std::map<Method, double>> rows_;
+};
+
+/// Shared registry of figures to print after the benchmark run.
+inline std::vector<FigureTable>& Figures() {
+  static std::vector<FigureTable> figures;
+  return figures;
+}
+
+inline void PrintAllFigures() {
+  for (const auto& fig : Figures()) fig.Print();
+}
+
+}  // namespace dm::bench
+
+#endif  // DIRECTMESH_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,73 @@
+// Reproduces the Section 4 measurements that justify the similar-LOD
+// restriction: "for each point the average number of connection points
+// with a similar LOD is 12 in both test datasets ... whereas the
+// average number of total connection points is 180 for the
+// 2-million-point dataset and 840 for the 17-million-point dataset."
+//
+// At bench scale the absolute closure sizes are smaller (they grow
+// with tree depth), but the shape — similar-LOD lists stay around a
+// dozen, the closure is an order of magnitude larger and grows with
+// dataset size — must reproduce.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace dm::bench {
+namespace {
+
+void ConnStats(benchmark::State& state, bool crater) {
+  BenchContext& ctx = GetContext(crater);
+  const ConnectivityStats& s = ctx.dataset().conn_stats;
+  for (auto _ : state) {
+    state.counters["avg_similar_lod"] = s.avg_similar_lod;
+    state.counters["max_similar_lod"] =
+        static_cast<double>(s.max_similar_lod);
+    state.counters["avg_total_closure"] = s.avg_total_connections;
+    state.counters["blowup_factor"] =
+        s.avg_total_connections / std::max(1.0, s.avg_similar_lod);
+  }
+}
+
+void StorageOverhead(benchmark::State& state, bool crater) {
+  // DM's storage price for the connection lists versus the plain PM
+  // records, in pages.
+  BenchContext& ctx = GetContext(crater);
+  for (auto _ : state) {
+    state.counters["dm_heap_pages"] =
+        static_cast<double>(ctx.dataset().dm->heap().num_pages());
+    state.counters["pm_heap_pages"] =
+        static_cast<double>(ctx.dataset().pm->heap().num_pages());
+    state.counters["overhead_ratio"] =
+        static_cast<double>(ctx.dataset().dm->heap().num_pages()) /
+        static_cast<double>(ctx.dataset().pm->heap().num_pages());
+  }
+}
+
+BENCHMARK_CAPTURE(ConnStats, small, false)->Iterations(1);
+BENCHMARK_CAPTURE(ConnStats, crater, true)->Iterations(1);
+BENCHMARK_CAPTURE(StorageOverhead, small, false)->Iterations(1);
+BENCHMARK_CAPTURE(StorageOverhead, crater, true)->Iterations(1);
+
+}  // namespace
+}  // namespace dm::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  using dm::bench::GetContext;
+  std::printf("\n=== Section 4 connectivity table ===\n");
+  std::printf("%10s %18s %18s %14s\n", "dataset", "avg similar-LOD",
+              "avg total closure", "points");
+  for (bool crater : {false, true}) {
+    auto& ctx = GetContext(crater);
+    const auto& s = ctx.dataset().conn_stats;
+    std::printf("%10s %18.1f %18.1f %14lld\n",
+                ctx.dataset().spec.name.c_str(), s.avg_similar_lod,
+                s.avg_total_connections,
+                static_cast<long long>(ctx.dataset().num_leaves));
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "common/hilbert.h"
+
+#include <algorithm>
+
+namespace dm {
+
+namespace {
+// One step of the classic rotate/flip transform.
+void Rot(uint32_t n, uint32_t* x, uint32_t* y, uint32_t rx, uint32_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      *x = n - 1 - *x;
+      *y = n - 1 - *y;
+    }
+    std::swap(*x, *y);
+  }
+}
+}  // namespace
+
+uint64_t HilbertIndex(uint32_t order, uint32_t x, uint32_t y) {
+  uint64_t d = 0;
+  for (uint32_t s = order; s-- > 0;) {
+    const uint32_t side = 1u << s;
+    const uint32_t rx = (x & side) ? 1 : 0;
+    const uint32_t ry = (y & side) ? 1 : 0;
+    d += static_cast<uint64_t>(side) * side * ((3 * rx) ^ ry);
+    Rot(1u << order, &x, &y, rx, ry);
+  }
+  return d;
+}
+
+void HilbertPoint(uint32_t order, uint64_t index, uint32_t* out_x,
+                  uint32_t* out_y) {
+  uint32_t x = 0;
+  uint32_t y = 0;
+  uint64_t t = index;
+  for (uint32_t s = 0; s < order; ++s) {
+    const uint32_t side = 1u << s;
+    const uint32_t rx = 1 & static_cast<uint32_t>(t / 2);
+    const uint32_t ry = 1 & static_cast<uint32_t>(t ^ rx);
+    Rot(side, &x, &y, rx, ry);
+    x += side * rx;
+    y += side * ry;
+    t /= 4;
+  }
+  *out_x = x;
+  *out_y = y;
+}
+
+uint64_t HilbertKeyUnit(double x01, double y01) {
+  const uint32_t kOrder = 16;
+  const double side = static_cast<double>(1u << kOrder);
+  auto clamp = [&](double v) {
+    if (v < 0.0) v = 0.0;
+    if (v >= 1.0) v = 0x1.fffffep-1;
+    return v;
+  };
+  const auto gx = static_cast<uint32_t>(clamp(x01) * side);
+  const auto gy = static_cast<uint32_t>(clamp(y01) * side);
+  return HilbertIndex(kOrder, gx, gy);
+}
+
+}  // namespace dm

@@ -1,0 +1,24 @@
+#ifndef DIRECTMESH_COMMON_HILBERT_H_
+#define DIRECTMESH_COMMON_HILBERT_H_
+
+#include <cstdint>
+
+namespace dm {
+
+/// Maps a 2D cell coordinate to its index along the Hilbert
+/// space-filling curve of order `order` (grid side 2^order).
+/// Used to cluster terrain points on disk so that their (x, y)
+/// locality is preserved, as the paper's evaluation setup requires
+/// ("terrain data is arranged on the disk in such a way that their
+/// (x, y) clustering is preserved as much as possible").
+uint64_t HilbertIndex(uint32_t order, uint32_t x, uint32_t y);
+
+/// Inverse of HilbertIndex.
+void HilbertPoint(uint32_t order, uint64_t index, uint32_t* x, uint32_t* y);
+
+/// Convenience: Hilbert key of a point in [0,1)^2 on a 2^16 grid.
+uint64_t HilbertKeyUnit(double x01, double y01);
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_COMMON_HILBERT_H_

@@ -1,0 +1,82 @@
+#ifndef DIRECTMESH_COMMON_RNG_H_
+#define DIRECTMESH_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace dm {
+
+/// Deterministic 64-bit RNG (xoshiro256**, seeded via splitmix64).
+/// Every experiment in this repository is reproducible because all
+/// randomness flows through explicitly seeded instances of this class.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    uint64_t z = seed;
+    for (auto& s : state_) {
+      z += 0x9e3779b97f4a7c15ULL;
+      uint64_t t = z;
+      t = (t ^ (t >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      t = (t ^ (t >> 27)) * 0x94d049bb133111ebULL;
+      s = t ^ (t >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBelow(
+                    static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Box-Muller (one value per call; simple and
+  /// deterministic, throughput is irrelevant here).
+  double NextGaussian();
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+inline double Rng::NextGaussian() {
+  // Rejection-free Box-Muller; discard the second value.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double two_pi = 6.283185307179586;
+  return __builtin_sqrt(-2.0 * __builtin_log(u1)) *
+         __builtin_cos(two_pi * u2);
+}
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_COMMON_RNG_H_

@@ -1,0 +1,133 @@
+#ifndef DIRECTMESH_COMMON_STATUS_H_
+#define DIRECTMESH_COMMON_STATUS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dm {
+
+/// Error category for a failed operation. Mirrors the RocksDB/Arrow
+/// convention of returning a Status object instead of throwing across
+/// module boundaries.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kCorruption,
+  kOutOfRange,
+  kNotSupported,
+  kInternal,
+};
+
+/// Result of a fallible operation: a code plus a human-readable message.
+/// `Status::OK()` is cheap (no allocation); error statuses carry a message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error container. Use `ok()` / `status()` to inspect, and
+/// `value()` (asserting) or `ValueOrDie()` to extract.
+template <typename T>
+class Result {
+ public:
+  /* implicit */ Result(T value) : value_(std::move(value)) {}
+  /* implicit */ Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "OK status must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Extracts the value, aborting with the status message on error.
+  T ValueOrDie() &&;
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnError(const Status& status);
+}  // namespace internal
+
+template <typename T>
+T Result<T>::ValueOrDie() && {
+  if (!ok()) internal::DieOnError(status_);
+  return std::move(*value_);
+}
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define DM_RETURN_NOT_OK(expr)                 \
+  do {                                         \
+    ::dm::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define DM_ASSIGN_OR_RETURN(lhs, expr)         \
+  auto DM_CONCAT_(_res, __LINE__) = (expr);    \
+  if (!DM_CONCAT_(_res, __LINE__).ok())        \
+    return DM_CONCAT_(_res, __LINE__).status();\
+  lhs = std::move(DM_CONCAT_(_res, __LINE__)).value()
+
+#define DM_CONCAT_IMPL_(a, b) a##b
+#define DM_CONCAT_(a, b) DM_CONCAT_IMPL_(a, b)
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_COMMON_STATUS_H_

@@ -1,0 +1,42 @@
+#include "dem/crater.h"
+
+#include <cmath>
+
+#include "dem/fractal.h"
+
+namespace dm {
+
+DemGrid GenerateCraterDem(const CraterParams& params) {
+  FractalParams noise;
+  noise.side = params.side;
+  noise.amplitude = params.noise_amplitude;
+  noise.roughness = params.noise_roughness;
+  noise.seed = params.seed;
+  DemGrid grid = GenerateFractalDem(noise);
+
+  const double cx = (params.side - 1) / 2.0;
+  const double cy = (params.side - 1) / 2.0;
+  const double rim_r = params.rim_radius_frac * cx;
+
+  for (int y = 0; y < params.side; ++y) {
+    for (int x = 0; x < params.side; ++x) {
+      const double dx = x - cx;
+      const double dy = y - cy;
+      const double r = std::sqrt(dx * dx + dy * dy) / rim_r;  // 1 at rim
+      double base;
+      if (r < 1.0) {
+        // Inside the caldera: cosine bowl from the rim down to the
+        // floor (rim_height - bowl_depth).
+        base = params.rim_height -
+               params.bowl_depth * 0.5 * (1.0 + std::cos(3.14159265358979 * r));
+      } else {
+        // Outside: exponential flank decaying to the plain.
+        base = params.rim_height * std::exp(-3.0 * (r - 1.0));
+      }
+      grid.set(x, y, grid.at(x, y) + base);
+    }
+  }
+  return grid;
+}
+
+}  // namespace dm

@@ -1,0 +1,34 @@
+#include "dem/dem_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dm {
+
+void DemGrid::ElevationRange(double* min_z, double* max_z) const {
+  double lo = z_.empty() ? 0.0 : z_[0];
+  double hi = lo;
+  for (double v : z_) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  *min_z = lo;
+  *max_z = hi;
+}
+
+double DemGrid::Sample(double x, double y) const {
+  x = std::clamp(x, 0.0, width_ - 1.0);
+  y = std::clamp(y, 0.0, height_ - 1.0);
+  const int x0 = std::min(static_cast<int>(x), width_ - 2);
+  const int y0 = std::min(static_cast<int>(y), height_ - 2);
+  const double fx = x - x0;
+  const double fy = y - y0;
+  const double z00 = at(x0, y0);
+  const double z10 = at(x0 + 1, y0);
+  const double z01 = at(x0, y0 + 1);
+  const double z11 = at(x0 + 1, y0 + 1);
+  return z00 * (1 - fx) * (1 - fy) + z10 * fx * (1 - fy) +
+         z01 * (1 - fx) * fy + z11 * fx * fy;
+}
+
+}  // namespace dm

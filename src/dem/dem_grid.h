@@ -1,0 +1,66 @@
+#ifndef DIRECTMESH_DEM_DEM_GRID_H_
+#define DIRECTMESH_DEM_DEM_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace dm {
+
+/// A regular-grid digital elevation model: `width x height` samples of
+/// elevation over the rectangle [0, width-1] x [0, height-1] in ground
+/// units (one unit per grid cell; callers may rescale).
+///
+/// This is the raw input format of both paper datasets (a mining DEM
+/// and the USGS Crater Lake DEM); the synthetic generators in this
+/// module produce statistically comparable grids.
+class DemGrid {
+ public:
+  DemGrid() = default;
+  DemGrid(int width, int height)
+      : width_(width), height_(height),
+        z_(static_cast<size_t>(width) * height, 0.0) {}
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int64_t num_points() const {
+    return static_cast<int64_t>(width_) * height_;
+  }
+
+  double at(int x, int y) const {
+    return z_[static_cast<size_t>(y) * width_ + x];
+  }
+  void set(int x, int y, double z) {
+    z_[static_cast<size_t>(y) * width_ + x] = z;
+  }
+
+  /// 3D position of sample (x, y).
+  Point3 PointAt(int x, int y) const {
+    return Point3{static_cast<double>(x), static_cast<double>(y), at(x, y)};
+  }
+
+  /// Footprint rectangle of the whole grid.
+  Rect Bounds() const {
+    return Rect::Of(0.0, 0.0, width_ - 1.0, height_ - 1.0);
+  }
+
+  /// Min and max elevation over the grid.
+  void ElevationRange(double* min_z, double* max_z) const;
+
+  /// Bilinearly interpolated elevation at an arbitrary in-bounds
+  /// footprint position.
+  double Sample(double x, double y) const;
+
+  const std::vector<double>& data() const { return z_; }
+  std::vector<double>& mutable_data() { return z_; }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<double> z_;
+};
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_DEM_DEM_GRID_H_

@@ -1,0 +1,84 @@
+#include "dem/fractal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace dm {
+
+namespace {
+int NextPow2Plus1(int n) {
+  int p = 1;
+  while (p + 1 < n) p <<= 1;
+  return p + 1;
+}
+}  // namespace
+
+DemGrid GenerateFractalDem(const FractalParams& params) {
+  const int side = NextPow2Plus1(std::max(params.side, 3));
+  DemGrid grid(side, side);
+  Rng rng(params.seed);
+
+  // Seed the four corners.
+  grid.set(0, 0, rng.Uniform(-params.amplitude, params.amplitude));
+  grid.set(side - 1, 0, rng.Uniform(-params.amplitude, params.amplitude));
+  grid.set(0, side - 1, rng.Uniform(-params.amplitude, params.amplitude));
+  grid.set(side - 1, side - 1,
+           rng.Uniform(-params.amplitude, params.amplitude));
+
+  double amp = params.amplitude;
+  for (int step = side - 1; step > 1; step /= 2) {
+    const int half = step / 2;
+    // Diamond step: center of each square gets the corner average plus
+    // a random displacement.
+    for (int y = half; y < side; y += step) {
+      for (int x = half; x < side; x += step) {
+        const double avg =
+            (grid.at(x - half, y - half) + grid.at(x + half, y - half) +
+             grid.at(x - half, y + half) + grid.at(x + half, y + half)) /
+            4.0;
+        grid.set(x, y, avg + rng.Uniform(-amp, amp));
+      }
+    }
+    // Square step: edge midpoints get the average of their (up to 4)
+    // diamond neighbours.
+    for (int y = 0; y < side; y += half) {
+      const int x_start = ((y / half) % 2 == 0) ? half : 0;
+      for (int x = x_start; x < side; x += step) {
+        double sum = 0.0;
+        int cnt = 0;
+        if (x - half >= 0) {
+          sum += grid.at(x - half, y);
+          ++cnt;
+        }
+        if (x + half < side) {
+          sum += grid.at(x + half, y);
+          ++cnt;
+        }
+        if (y - half >= 0) {
+          sum += grid.at(x, y - half);
+          ++cnt;
+        }
+        if (y + half < side) {
+          sum += grid.at(x, y + half);
+          ++cnt;
+        }
+        grid.set(x, y, sum / cnt + rng.Uniform(-amp, amp));
+      }
+    }
+    amp *= params.roughness;
+  }
+
+  if (side == params.side) return grid;
+  // Crop to the requested size.
+  DemGrid cropped(params.side, params.side);
+  for (int y = 0; y < params.side; ++y) {
+    for (int x = 0; x < params.side; ++x) {
+      cropped.set(x, y, grid.at(x, y));
+    }
+  }
+  return cropped;
+}
+
+}  // namespace dm

@@ -1,0 +1,33 @@
+#ifndef DIRECTMESH_DEM_FRACTAL_H_
+#define DIRECTMESH_DEM_FRACTAL_H_
+
+#include <cstdint>
+
+#include "dem/dem_grid.h"
+
+namespace dm {
+
+/// Parameters of the diamond-square fractal generator.
+struct FractalParams {
+  /// Grid side is the smallest 2^k+1 that is >= side; the result is then
+  /// cropped to side x side.
+  int side = 257;
+  /// Initial random displacement amplitude (elevation units).
+  double amplitude = 200.0;
+  /// Per-octave amplitude decay in (0, 1); lower = smoother terrain.
+  double roughness = 0.55;
+  uint64_t seed = 42;
+};
+
+/// Generates fractal terrain with the diamond-square algorithm.
+///
+/// Stands in for the paper's 2M-point proprietary mining DEM: it has
+/// uniform point density in (x, y) and a heavy-tailed distribution of
+/// local curvature, which is what makes quadric-error LODs skewed —
+/// the property the LOD-quadtree baseline and DM both have to cope
+/// with.
+DemGrid GenerateFractalDem(const FractalParams& params);
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_DEM_FRACTAL_H_

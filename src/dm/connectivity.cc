@@ -1,0 +1,194 @@
+#include "dm/connectivity.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace dm {
+
+namespace {
+bool IntervalsOverlap(const PmNode& a, const PmNode& b) {
+  return std::max(a.e_low, b.e_low) < std::min(a.e_high, b.e_high);
+}
+}  // namespace
+
+std::vector<std::vector<VertexId>> BuildConnectionLists(
+    const TriangleMesh& base, const PmTree& tree,
+    const SimplifyResult& sr) {
+  const int64_t total = tree.num_nodes();
+  std::vector<std::vector<VertexId>> conn(static_cast<size_t>(total));
+
+  // Live adjacency during the contraction pass. Neighbour lists are
+  // kept sorted-unique lazily via sort+unique at use time; for terrain
+  // meshes degrees are small so simple vectors win.
+  std::vector<std::vector<VertexId>> adj(static_cast<size_t>(total));
+  auto add_edge = [&](VertexId a, VertexId b) {
+    adj[static_cast<size_t>(a)].push_back(b);
+    adj[static_cast<size_t>(b)].push_back(a);
+  };
+  auto record_if_similar = [&](VertexId a, VertexId b) {
+    const PmNode& na = tree.node(a);
+    const PmNode& nb = tree.node(b);
+    if (IntervalsOverlap(na, nb)) {
+      conn[static_cast<size_t>(a)].push_back(b);
+      conn[static_cast<size_t>(b)].push_back(a);
+    }
+  };
+
+  // Base mesh edges are the birth edges of the leaves.
+  {
+    std::vector<std::pair<VertexId, VertexId>> edges;
+    edges.reserve(base.num_triangles() * 3u);
+    for (const Triangle& t : base.triangles()) {
+      for (int i = 0; i < 3; ++i) {
+        VertexId a = t[i];
+        VertexId b = t[(i + 1) % 3];
+        if (a > b) std::swap(a, b);
+        edges.emplace_back(a, b);
+      }
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    for (const auto& [a, b] : edges) {
+      add_edge(a, b);
+      record_if_similar(a, b);
+    }
+  }
+
+  // Contract in ascending (normalized e, execution index) order. The
+  // execution index tiebreak keeps children before parents among
+  // equal-e steps, so every step's children are alive when it runs.
+  std::vector<uint32_t> order(sr.steps.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    const double ea = tree.node(sr.steps[a].record.parent).e_low;
+    const double eb = tree.node(sr.steps[b].record.parent).e_low;
+    if (ea != eb) return ea < eb;
+    return a < b;
+  });
+
+  std::vector<VertexId> nbrs;
+  for (uint32_t idx : order) {
+    const CollapseRecord& rec = sr.steps[idx].record;
+    const VertexId c1 = rec.child1;
+    const VertexId c2 = rec.child2;
+    const VertexId p = rec.parent;
+
+    nbrs.clear();
+    auto& a1 = adj[static_cast<size_t>(c1)];
+    auto& a2 = adj[static_cast<size_t>(c2)];
+    nbrs.insert(nbrs.end(), a1.begin(), a1.end());
+    nbrs.insert(nbrs.end(), a2.begin(), a2.end());
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    nbrs.erase(std::remove_if(nbrs.begin(), nbrs.end(),
+                              [&](VertexId n) { return n == c1 || n == c2; }),
+               nbrs.end());
+
+    // Detach the children from their neighbours; attach the parent.
+    for (VertexId n : nbrs) {
+      auto& an = adj[static_cast<size_t>(n)];
+      an.erase(std::remove_if(an.begin(), an.end(),
+                              [&](VertexId x) { return x == c1 || x == c2; }),
+               an.end());
+      an.push_back(p);
+    }
+    a1.clear();
+    a1.shrink_to_fit();
+    a2.clear();
+    a2.shrink_to_fit();
+    adj[static_cast<size_t>(p)] = nbrs;
+
+    // Birth edges of p.
+    for (VertexId n : nbrs) record_if_similar(p, n);
+  }
+
+  for (auto& list : conn) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return conn;
+}
+
+ConnectivityStats ComputeConnectivityStats(
+    const TriangleMesh& base, const PmTree& tree,
+    const std::vector<std::vector<VertexId>>& connections, int64_t sample) {
+  ConnectivityStats stats;
+  int64_t total_similar = 0;
+  for (const auto& list : connections) {
+    total_similar += static_cast<int64_t>(list.size());
+    stats.max_similar_lod =
+        std::max(stats.max_similar_lod, static_cast<int64_t>(list.size()));
+  }
+  const int64_t n = static_cast<int64_t>(connections.size());
+  stats.avg_similar_lod = n > 0 ? static_cast<double>(total_similar) / n : 0;
+
+  // Total connection closure for a deterministic sample of nodes.
+  //
+  // A node m can, in some viewpoint-dependent approximation, connect
+  // to any node n whose leaf set touches m's leaf set through a base
+  // edge, provided neither contains the other (ancestor pairs can
+  // never coexist). Counted per sampled m by walking its subtree's
+  // boundary leaves and their ancestor chains.
+  //
+  // Leaf adjacency of the base mesh:
+  std::vector<std::vector<VertexId>> leaf_adj(
+      static_cast<size_t>(base.num_vertices()));
+  for (const Triangle& t : base.triangles()) {
+    for (int i = 0; i < 3; ++i) {
+      leaf_adj[static_cast<size_t>(t[i])].push_back(t[(i + 1) % 3]);
+      leaf_adj[static_cast<size_t>(t[(i + 1) % 3])].push_back(t[i]);
+    }
+  }
+  for (auto& l : leaf_adj) {
+    std::sort(l.begin(), l.end());
+    l.erase(std::unique(l.begin(), l.end()), l.end());
+  }
+
+  const int64_t step = std::max<int64_t>(1, n / std::max<int64_t>(1, sample));
+  int64_t sampled = 0;
+  int64_t closure_total = 0;
+  for (VertexId m = 0; m < n; m += step) {
+    // Leaves of m's subtree.
+    std::unordered_set<VertexId> in_subtree;
+    std::vector<VertexId> leaves;
+    std::vector<VertexId> stack{m};
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      in_subtree.insert(v);
+      const PmNode& node = tree.node(v);
+      if (node.is_leaf()) {
+        leaves.push_back(v);
+      } else {
+        stack.push_back(node.child1);
+        stack.push_back(node.child2);
+      }
+    }
+    // Ancestors of m (these contain m and are excluded).
+    std::unordered_set<VertexId> ancestors;
+    for (VertexId a = tree.node(m).parent; a != kInvalidVertex;
+         a = tree.node(a).parent) {
+      ancestors.insert(a);
+    }
+    // Every node on the ancestor-or-self chain of an outside leaf
+    // adjacent to the subtree, excluding m's ancestors, can meet m.
+    std::unordered_set<VertexId> closure;
+    for (VertexId leaf : leaves) {
+      for (VertexId nb : leaf_adj[static_cast<size_t>(leaf)]) {
+        if (in_subtree.count(nb)) continue;
+        for (VertexId a = nb; a != kInvalidVertex; a = tree.node(a).parent) {
+          if (ancestors.count(a)) break;  // contains m; stop the chain
+          closure.insert(a);
+        }
+      }
+    }
+    closure_total += static_cast<int64_t>(closure.size());
+    ++sampled;
+  }
+  stats.sampled_nodes = sampled;
+  stats.avg_total_connections =
+      sampled > 0 ? static_cast<double>(closure_total) / sampled : 0;
+  return stats;
+}
+
+}  // namespace dm

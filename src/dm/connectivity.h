@@ -1,0 +1,49 @@
+#ifndef DIRECTMESH_DM_CONNECTIVITY_H_
+#define DIRECTMESH_DM_CONNECTIVITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "mesh/triangle_mesh.h"
+#include "pm/pm_tree.h"
+
+namespace dm {
+
+/// Statistics the paper reports in Section 4: the average number of
+/// similar-LOD connection points per node (paper: ~12 on both
+/// datasets) versus the average number of *all possible* connection
+/// points (paper: 180 and 840) — the blow-up that makes storing the
+/// full closure infeasible and motivates the similar-LOD restriction.
+struct ConnectivityStats {
+  double avg_similar_lod = 0.0;
+  int64_t max_similar_lod = 0;
+  /// Average over a sample of nodes of the full connection closure
+  /// (every node, at any LOD, that shares a base-mesh edge with this
+  /// node's leaf set and is not an ancestor/descendant of it).
+  double avg_total_connections = 0.0;
+  int64_t sampled_nodes = 0;
+};
+
+/// Connection lists for every PM node (indexed by VertexId). A pair
+/// (u, v) is connected iff their LOD intervals overlap and the base
+/// mesh has an edge between u's and v's leaf descendants — exactly the
+/// pairs that are adjacent in every uniform-LOD cut both belong to.
+///
+/// Built by one graph-contraction pass over the collapse sequence in
+/// ascending normalized-LOD order, recording each edge at the moment
+/// its younger endpoint is born.
+std::vector<std::vector<VertexId>> BuildConnectionLists(
+    const TriangleMesh& base, const PmTree& tree,
+    const SimplifyResult& sr);
+
+/// Computes the similar-LOD statistics, and the total-closure average
+/// over `sample` nodes (deterministically spread over the id range).
+ConnectivityStats ComputeConnectivityStats(
+    const TriangleMesh& base, const PmTree& tree,
+    const std::vector<std::vector<VertexId>>& connections,
+    int64_t sample = 512);
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_DM_CONNECTIVITY_H_

@@ -1,0 +1,183 @@
+#include "dm/cost_model.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace dm {
+
+EAxisMap EAxisMap::FromNodeExtents(
+    const std::vector<RTreeNodeExtent>& nodes) {
+  EAxisMap map;
+  for (const RTreeNodeExtent& n : nodes) {
+    if (n.level != 0) continue;
+    // One sample per leaf midpoint, repeated by a coarse weight so
+    // heavier leaves pull more measure; entry-exact sampling is not
+    // needed for a normalization map.
+    const double mid = (n.box.lo[2] + n.box.hi[2]) / 2;
+    map.samples_.push_back(n.box.lo[2]);
+    map.samples_.push_back(mid);
+    map.samples_.push_back(n.box.hi[2]);
+  }
+  std::sort(map.samples_.begin(), map.samples_.end());
+  return map;
+}
+
+double EAxisMap::Map(double e) const {
+  if (samples_.empty()) return e;
+  const auto it = std::lower_bound(samples_.begin(), samples_.end(), e);
+  const auto rank = static_cast<double>(it - samples_.begin());
+  double frac = rank / static_cast<double>(samples_.size());
+  // Linear interpolation within the bracketing samples keeps the map
+  // strictly monotone in dense regions.
+  if (it != samples_.begin() && it != samples_.end() && *it > *(it - 1)) {
+    const double lo = *(it - 1);
+    const double hi = *it;
+    frac += ((e - lo) / (hi - lo) - 1.0) / static_cast<double>(samples_.size());
+  }
+  return std::clamp(frac, 0.0, 1.0);
+}
+
+Box EAxisMap::MapBox(const Box& box) const {
+  if (samples_.empty()) return box;
+  Box out = box;
+  out.lo[2] = Map(box.lo[2]);
+  out.hi[2] = Map(box.hi[2]);
+  return out;
+}
+
+double EstimateDiskAccesses(const std::vector<RTreeNodeExtent>& nodes,
+                            const Box& data_space, const Box& query,
+                            const EAxisMap& e_map) {
+  double total = 0.0;
+  const double ex = std::max(data_space.Extent(0), 1e-300);
+  const double ey = std::max(data_space.Extent(1), 1e-300);
+  const double ez = e_map.identity()
+                        ? std::max(data_space.Extent(2), 1e-300)
+                        : 1.0;
+  const Box q = e_map.MapBox(query);
+  const double qx = q.Extent(0) / ex;
+  const double qy = q.Extent(1) / ey;
+  const double qz = q.Extent(2) / ez;
+  for (const RTreeNodeExtent& n : nodes) {
+    const Box b = e_map.MapBox(n.box);
+    const double wi = b.Extent(0) / ex;
+    const double hi = b.Extent(1) / ey;
+    const double di = b.Extent(2) / ez;
+    total += (qx + wi) * (qy + hi) * (qz + di);
+  }
+  return total;
+}
+
+double EstimateQueryCost(const CostModelInputs& inputs, const Box& query) {
+  double index_pages = 0.0;
+  if (inputs.nodes != nullptr) {
+    index_pages = EstimateDiskAccesses(*inputs.nodes, inputs.data_space,
+                                       query, inputs.e_map);
+  }
+  // Heap pages: expected records hit by the cube over the clustering
+  // density. xy selectivity is geometric; e selectivity comes from the
+  // sampled segment intervals ([l, h] intersects [a, b] iff l <= b and
+  // h >= a).
+  double heap_pages = 0.0;
+  if (!inputs.segment_sample.empty() && inputs.total_records > 0) {
+    const double ex = std::max(inputs.data_space.Extent(0), 1e-300);
+    const double ey = std::max(inputs.data_space.Extent(1), 1e-300);
+    const double sel_xy = std::min(1.0, query.Extent(0) / ex) *
+                          std::min(1.0, query.Extent(1) / ey);
+    int64_t hit = 0;
+    for (const auto& [l, h] : inputs.segment_sample) {
+      if (l <= query.hi[2] && h >= query.lo[2]) ++hit;
+    }
+    const double sel_e = static_cast<double>(hit) /
+                         static_cast<double>(inputs.segment_sample.size());
+    const double records =
+        static_cast<double>(inputs.total_records) * sel_xy * sel_e;
+    heap_pages = records / std::max(1.0, inputs.records_per_page);
+  }
+  return index_pages + heap_pages;
+}
+
+std::vector<BaseCube> OptimizeMultiBase(
+    const CostModelInputs& inputs, const Rect& roi, bool gradient_along_y,
+    const std::function<double(double)>& e_at, int max_cubes) {
+  std::vector<BaseCube> out;
+  const std::function<void(double, double, int)> split =
+      [&](double t0, double t1, int budget) {
+        BaseCube whole{t0, t1, e_at(t0), e_at(t1)};
+        if (budget > 1) {
+          const double tm = (t0 + t1) / 2;
+          const BaseCube left{t0, tm, e_at(t0), e_at(tm)};
+          const BaseCube right{tm, t1, e_at(tm), e_at(t1)};
+          const double da_whole = EstimateQueryCost(
+              inputs, SliceBox(roi, gradient_along_y, whole));
+          const double da_parts =
+              EstimateQueryCost(inputs,
+                                SliceBox(roi, gradient_along_y, left)) +
+              EstimateQueryCost(inputs,
+                                SliceBox(roi, gradient_along_y, right));
+          if (da_parts < da_whole) {  // condition (7)
+            split(t0, tm, budget / 2);
+            split(tm, t1, budget - budget / 2);
+            return;
+          }
+        }
+        out.push_back(whole);
+      };
+  split(0.0, 1.0, std::max(1, max_cubes));
+  std::sort(out.begin(), out.end(),
+            [](const BaseCube& a, const BaseCube& b) { return a.t0 < b.t0; });
+  return out;
+}
+
+Box SliceBox(const Rect& roi, bool gradient_along_y, const BaseCube& cube) {
+  Rect slice = roi;
+  if (gradient_along_y) {
+    slice.lo_y = roi.lo_y + cube.t0 * roi.height();
+    slice.hi_y = roi.lo_y + cube.t1 * roi.height();
+  } else {
+    slice.lo_x = roi.lo_x + cube.t0 * roi.width();
+    slice.hi_x = roi.lo_x + cube.t1 * roi.width();
+  }
+  return Box::FromRect(slice, cube.e_lo, cube.e_hi);
+}
+
+std::vector<BaseCube> OptimizeMultiBase(
+    const std::vector<RTreeNodeExtent>& nodes, const Box& data_space,
+    const Rect& roi, bool gradient_along_y,
+    const std::function<double(double)>& e_at, int max_cubes,
+    const EAxisMap& e_map) {
+  std::vector<BaseCube> out;
+  // Recursive middle split (the paper shows halving minimizes
+  // qy1*qz1 + qy2*qz2 for a linear plane, maximizing formula (8)).
+  const std::function<void(double, double, int)> split =
+      [&](double t0, double t1, int budget) {
+        BaseCube whole{t0, t1, e_at(t0), e_at(t1)};
+        if (budget > 1) {
+          const double tm = (t0 + t1) / 2;
+          const BaseCube left{t0, tm, e_at(t0), e_at(tm)};
+          const BaseCube right{tm, t1, e_at(tm), e_at(t1)};
+          const double da_whole = EstimateDiskAccesses(
+              nodes, data_space, SliceBox(roi, gradient_along_y, whole),
+              e_map);
+          const double da_parts =
+              EstimateDiskAccesses(
+                  nodes, data_space, SliceBox(roi, gradient_along_y, left),
+                  e_map) +
+              EstimateDiskAccesses(
+                  nodes, data_space,
+                  SliceBox(roi, gradient_along_y, right), e_map);
+          if (da_parts < da_whole) {  // condition (7)
+            split(t0, tm, budget / 2);
+            split(tm, t1, budget - budget / 2);
+            return;
+          }
+        }
+        out.push_back(whole);
+      };
+  split(0.0, 1.0, std::max(1, max_cubes));
+  std::sort(out.begin(), out.end(),
+            [](const BaseCube& a, const BaseCube& b) { return a.t0 < b.t0; });
+  return out;
+}
+
+}  // namespace dm

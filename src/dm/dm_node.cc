@@ -1,0 +1,173 @@
+#include "dm/dm_node.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "dm/varint.h"
+
+namespace dm {
+
+namespace {
+// Fixed part: id, parent, child1, child2, wing1, wing2 (6 x i64),
+// x, y, z, e_low, e_high (5 x f64), conn_count (u32).
+constexpr uint32_t kFixedSize = 6 * 8 + 5 * 8 + 4;
+
+// e_high = +inf (root) is stored as the largest finite double so the
+// record is bit-stable; Decode restores the infinity.
+constexpr double kInfSentinel = std::numeric_limits<double>::max();
+
+template <typename T>
+void Append(std::vector<uint8_t>* out, T v) {
+  const size_t n = out->size();
+  out->resize(n + sizeof(T));
+  std::memcpy(out->data() + n, &v, sizeof(T));
+}
+
+template <typename T>
+T Read(const uint8_t*& p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  p += sizeof(T);
+  return v;
+}
+}  // namespace
+
+uint32_t DmNode::EncodedSize() const {
+  return kFixedSize + static_cast<uint32_t>(connections.size()) * 8;
+}
+
+void DmNode::EncodeTo(std::vector<uint8_t>* out) const {
+  out->reserve(out->size() + EncodedSize());
+  Append<int64_t>(out, id);
+  Append<int64_t>(out, parent);
+  Append<int64_t>(out, child1);
+  Append<int64_t>(out, child2);
+  Append<int64_t>(out, wing1);
+  Append<int64_t>(out, wing2);
+  Append<double>(out, pos.x);
+  Append<double>(out, pos.y);
+  Append<double>(out, pos.z);
+  Append<double>(out, e_low);
+  Append<double>(out,
+                 std::isinf(e_high) ? kInfSentinel : e_high);
+  Append<uint32_t>(out, static_cast<uint32_t>(connections.size()));
+  for (VertexId c : connections) Append<int64_t>(out, c);
+}
+
+Result<DmNode> DmNode::Decode(const uint8_t* data, uint32_t size) {
+  if (size < kFixedSize) {
+    return Status::Corruption("DM node record too small");
+  }
+  const uint8_t* p = data;
+  DmNode n;
+  n.id = Read<int64_t>(p);
+  n.parent = Read<int64_t>(p);
+  n.child1 = Read<int64_t>(p);
+  n.child2 = Read<int64_t>(p);
+  n.wing1 = Read<int64_t>(p);
+  n.wing2 = Read<int64_t>(p);
+  n.pos.x = Read<double>(p);
+  n.pos.y = Read<double>(p);
+  n.pos.z = Read<double>(p);
+  n.e_low = Read<double>(p);
+  n.e_high = Read<double>(p);
+  if (n.e_high == kInfSentinel) {
+    n.e_high = std::numeric_limits<double>::infinity();
+  }
+  const uint32_t count = Read<uint32_t>(p);
+  if (size != kFixedSize + count * 8) {
+    return Status::Corruption("DM node record size mismatch");
+  }
+  n.connections.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    n.connections[i] = Read<int64_t>(p);
+  }
+  return n;
+}
+
+void DmNode::EncodeCompressedTo(std::vector<uint8_t>* out) const {
+  // Header: id (varint), then 5 doubles raw (x, y, z, e_low, e_high),
+  // then parent/children/wings as zigzag deltas vs id (kInvalidVertex
+  // encoded as delta 0 against a sentinel: store raw zigzag of
+  // (link == kInvalidVertex ? 0 : link - id + 1), so 0 means null).
+  PutVarint(out, static_cast<uint64_t>(id));
+  const size_t pos = out->size();
+  out->resize(pos + 5 * 8);
+  uint8_t* p = out->data() + pos;
+  std::memcpy(p, &this->pos.x, 8);
+  std::memcpy(p + 8, &this->pos.y, 8);
+  std::memcpy(p + 16, &this->pos.z, 8);
+  std::memcpy(p + 24, &e_low, 8);
+  const double eh = std::isinf(e_high) ? kInfSentinel : e_high;
+  std::memcpy(p + 32, &eh, 8);
+  auto put_link = [&](VertexId link) {
+    PutVarint(out, link == kInvalidVertex ? 0 : ZigZag(link - id) + 1);
+  };
+  put_link(parent);
+  put_link(child1);
+  put_link(child2);
+  put_link(wing1);
+  put_link(wing2);
+  // Connections: count, then zigzag deltas between consecutive sorted
+  // ids (first against the node id).
+  PutVarint(out, connections.size());
+  VertexId prev = id;
+  for (VertexId c : connections) {
+    PutVarint(out, ZigZag(c - prev));
+    prev = c;
+  }
+}
+
+Result<DmNode> DmNode::DecodeCompressed(const uint8_t* data, uint32_t size) {
+  uint32_t pos = 0;
+  uint64_t v = 0;
+  DmNode n;
+  if (!GetVarint(data, size, &pos, &v)) {
+    return Status::Corruption("compressed DM node: truncated id");
+  }
+  n.id = static_cast<VertexId>(v);
+  if (pos + 5 * 8 > size) {
+    return Status::Corruption("compressed DM node: truncated doubles");
+  }
+  std::memcpy(&n.pos.x, data + pos, 8);
+  std::memcpy(&n.pos.y, data + pos + 8, 8);
+  std::memcpy(&n.pos.z, data + pos + 16, 8);
+  std::memcpy(&n.e_low, data + pos + 24, 8);
+  std::memcpy(&n.e_high, data + pos + 32, 8);
+  if (n.e_high == kInfSentinel) {
+    n.e_high = std::numeric_limits<double>::infinity();
+  }
+  pos += 5 * 8;
+  auto get_link = [&](VertexId* link) {
+    uint64_t raw;
+    if (!GetVarint(data, size, &pos, &raw)) return false;
+    *link = raw == 0 ? kInvalidVertex : n.id + UnZigZag(raw - 1);
+    return true;
+  };
+  if (!get_link(&n.parent) || !get_link(&n.child1) ||
+      !get_link(&n.child2) || !get_link(&n.wing1) ||
+      !get_link(&n.wing2)) {
+    return Status::Corruption("compressed DM node: truncated links");
+  }
+  uint64_t count = 0;
+  if (!GetVarint(data, size, &pos, &count) || count > (1u << 24)) {
+    return Status::Corruption("compressed DM node: bad connection count");
+  }
+  n.connections.resize(count);
+  VertexId prev = n.id;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t d;
+    if (!GetVarint(data, size, &pos, &d)) {
+      return Status::Corruption("compressed DM node: truncated list");
+    }
+    prev += UnZigZag(d);
+    n.connections[i] = prev;
+  }
+  if (pos != size) {
+    return Status::Corruption("compressed DM node: trailing bytes");
+  }
+  return n;
+}
+
+}  // namespace dm

@@ -1,0 +1,57 @@
+#ifndef DIRECTMESH_DM_DM_NODE_H_
+#define DIRECTMESH_DM_DM_NODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+
+namespace dm {
+
+/// A Direct Mesh node: the PM record plus the LOD interval and the
+/// list of connection points with similar LOD ("a direct mesh is
+/// constructed from a PM by adding a list of IDs for the connection
+/// points of similar LOD to each node").
+struct DmNode {
+  VertexId id = kInvalidVertex;
+  Point3 pos;
+  double e_low = 0.0;
+  double e_high = 0.0;  // +inf at the root
+  VertexId parent = kInvalidVertex;
+  VertexId child1 = kInvalidVertex;
+  VertexId child2 = kInvalidVertex;
+  VertexId wing1 = kInvalidVertex;
+  VertexId wing2 = kInvalidVertex;
+  /// Connection points with similar (interval-overlapping) LOD,
+  /// sorted by id.
+  std::vector<VertexId> connections;
+
+  bool is_leaf() const { return child1 == kInvalidVertex; }
+  bool AliveAt(double e) const { return e_low <= e && e < e_high; }
+  bool IntervalOverlaps(double lo, double hi) const {
+    // [e_low, e_high) vs [lo, hi]
+    return e_low <= hi && e_high > lo;
+  }
+
+  /// Serialized size in bytes (flat encoding).
+  uint32_t EncodedSize() const;
+  /// Appends the flat binary encoding to `out`.
+  void EncodeTo(std::vector<uint8_t>* out) const;
+  /// Decodes a record produced by EncodeTo.
+  static Result<DmNode> Decode(const uint8_t* data, uint32_t size);
+
+  /// Compressed encoding in the spirit of the compressed-MTM work the
+  /// paper cites (Danovaro et al., SSTD 2001): tree links and
+  /// connection ids are stored as zigzag varint deltas against the
+  /// node id (ids of related nodes are numerically close because
+  /// parents are allocated in collapse order), positions and LODs stay
+  /// full precision. Typically ~45% of the flat record size.
+  void EncodeCompressedTo(std::vector<uint8_t>* out) const;
+  /// Decodes a record produced by EncodeCompressedTo.
+  static Result<DmNode> DecodeCompressed(const uint8_t* data, uint32_t size);
+};
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_DM_DM_NODE_H_

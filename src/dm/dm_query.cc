@@ -1,0 +1,305 @@
+#include "dm/dm_query.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "dm/cost_model.h"
+#include "mesh/extract.h"
+
+namespace dm {
+
+double ViewQuery::RequiredE(double x, double y) const {
+  double t;
+  if (gradient_along_y) {
+    t = roi.height() > 0 ? (y - roi.lo_y) / roi.height() : 0.0;
+  } else {
+    t = roi.width() > 0 ? (x - roi.lo_x) / roi.width() : 0.0;
+  }
+  t = std::clamp(t, 0.0, 1.0);
+  return EAt(t);
+}
+
+double PerspectiveQuery::RequiredE(double x, double y) const {
+  const double dx = x - viewer.x;
+  const double dy = y - viewer.y;
+  const double d = std::sqrt(dx * dx + dy * dy);
+  return std::clamp(e_floor + tolerance * d, e_floor, e_cap);
+}
+
+void PerspectiveQuery::Range(double* lo, double* hi) const {
+  // RequiredE is radial and monotone in the distance, so extremes are
+  // at the ROI's nearest and farthest points from the viewer.
+  const double nx = std::clamp(viewer.x, roi.lo_x, roi.hi_x);
+  const double ny = std::clamp(viewer.y, roi.lo_y, roi.hi_y);
+  *lo = RequiredE(nx, ny);
+  double far = *lo;
+  for (double cx : {roi.lo_x, roi.hi_x}) {
+    for (double cy : {roi.lo_y, roi.hi_y}) {
+      far = std::max(far, RequiredE(cx, cy));
+    }
+  }
+  *hi = far;
+}
+
+ViewQuery ViewQuery::FromAngle(const Rect& roi, double e_min,
+                               double angle_fraction, double dataset_max_lod,
+                               bool gradient_along_y) {
+  // theta_max = arctan(LODdataset_max / ROI); the query plane at
+  // angle = f * theta_max spans e from e_min to
+  // e_min + extent * tan(f * theta_max).
+  ViewQuery q;
+  q.roi = roi;
+  q.e_min = e_min;
+  q.gradient_along_y = gradient_along_y;
+  const double extent = gradient_along_y ? roi.height() : roi.width();
+  const double theta_max = std::atan2(dataset_max_lod, extent);
+  const double rise = extent * std::tan(angle_fraction * theta_max);
+  q.e_max = std::min(e_min + rise, dataset_max_lod);
+  return q;
+}
+
+Status DmQueryProcessor::FetchBox(const Box& box, NodeMap* nodes,
+                                  QueryStats* stats) {
+  ++stats->range_queries;
+  std::vector<uint64_t> rids;
+  const int64_t reads_before = store_->env()->stats().disk_reads;
+  DM_RETURN_NOT_OK(store_->rtree().RangeQuery(box, &rids));
+  stats->index_io += store_->env()->stats().disk_reads - reads_before;
+  // Fetch in page order: the R*-tree returns leaf entries in traversal
+  // order, while records are Hilbert-clustered; sorting by record id
+  // visits each heap page once.
+  std::sort(rids.begin(), rids.end());
+  for (uint64_t packed : rids) {
+    DM_ASSIGN_OR_RETURN(DmNode node,
+                        store_->FetchNode(RecordId::Unpack(packed)));
+    ++stats->nodes_fetched;
+    nodes->emplace(node.id, std::move(node));
+  }
+  return Status::OK();
+}
+
+void DmQueryProcessor::Triangulate(const NodeMap& nodes,
+                                   const std::vector<VertexId>& cut,
+                                   DmQueryResult* result) {
+  // Edges of the approximation: connection-list pairs present in the
+  // cut. Lists are exact (see dm/connectivity.h), so no geometric
+  // checks are needed.
+  std::unordered_map<VertexId, std::vector<VertexId>> adj;
+  adj.reserve(cut.size());
+  std::unordered_map<VertexId, bool> in_cut;
+  in_cut.reserve(cut.size());
+  for (VertexId v : cut) in_cut[v] = true;
+  for (VertexId v : cut) {
+    const DmNode& n = nodes.at(v);
+    auto& list = adj[v];
+    for (VertexId c : n.connections) {
+      if (in_cut.count(c)) list.push_back(c);
+    }
+    std::sort(list.begin(), list.end());
+  }
+
+  GraphView view;
+  view.position = [&](VertexId v) { return nodes.at(v).pos; };
+  view.neighbors = [&](VertexId v) -> const std::vector<VertexId>& {
+    return adj.at(v);
+  };
+  result->vertices = cut;
+  std::sort(result->vertices.begin(), result->vertices.end());
+  result->positions.reserve(result->vertices.size());
+  for (VertexId v : result->vertices) {
+    result->positions.push_back(nodes.at(v).pos);
+  }
+  result->triangles = ExtractTriangles(result->vertices, view);
+}
+
+Result<DmQueryResult> DmQueryProcessor::ViewpointIndependent(const Rect& r,
+                                                             double e) {
+  QueryStats stats;
+  const int64_t reads0 = store_->env()->stats().disk_reads;
+
+  NodeMap nodes;
+  DM_RETURN_NOT_OK(FetchBox(Box::FromRect(r, e, e), &nodes, &stats));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<VertexId> cut;
+  cut.reserve(nodes.size());
+  for (const auto& [id, n] : nodes) {
+    // The index is inclusive on segment endpoints; enforce the
+    // half-open interval semantics [e_low, e_high).
+    if (n.AliveAt(e)) cut.push_back(id);
+  }
+  DmQueryResult result;
+  Triangulate(nodes, cut, &result);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  stats.cpu_millis =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  stats.disk_accesses = store_->env()->stats().disk_reads - reads0;
+  result.stats = stats;
+  return result;
+}
+
+DmQueryResult DmQueryProcessor::RefineAndTriangulate(
+    const std::function<double(const Point3&)>& required_e,
+    const NodeMap& nodes, std::vector<VertexId> start, QueryStats stats) {
+  const auto t0 = std::chrono::steady_clock::now();
+  // Selective refinement from the top plane(s) down to the query
+  // plane: replace any node whose interval floor exceeds the local
+  // required LOD by its fetched children. Equivalent to the paper's
+  // step 4 of Algorithm 1 (a sequence of vertex splits); connectivity
+  // is recovered afterwards from the connection lists, which encode
+  // exactly the edges every split would have produced.
+  std::vector<VertexId> cut;
+  std::vector<VertexId> work = std::move(start);
+  while (!work.empty()) {
+    const VertexId id = work.back();
+    work.pop_back();
+    const DmNode& n = nodes.at(id);
+    const double req = required_e(n.pos);
+    if (n.e_low > req && !n.is_leaf()) {
+      ++stats.refinement_splits;
+      const auto c1 = nodes.find(n.child1);
+      const auto c2 = nodes.find(n.child2);
+      if (c1 == nodes.end() && c2 == nodes.end()) {
+        // Both children outside the fetched region (ROI boundary):
+        // the node cannot refine further here.
+        ++stats.refinement_misses;
+        cut.push_back(id);
+        continue;
+      }
+      if (c1 != nodes.end()) work.push_back(n.child1);
+      if (c2 != nodes.end()) work.push_back(n.child2);
+      if (c1 == nodes.end() || c2 == nodes.end()) {
+        ++stats.refinement_misses;
+      }
+      continue;
+    }
+    cut.push_back(id);
+  }
+  // Multi-base seeds can start refinement from an ancestor and one of
+  // its descendants near a slice boundary; when both stop at the same
+  // nodes the duplicates are exact, and when a slice's lower top plane
+  // makes its seeds finer than another slice's satisfied ancestor the
+  // cut briefly holds both generations. Dedupe, then let the coarser
+  // representation win (single-base semantics), walking parent chains
+  // through the fetched records.
+  std::sort(cut.begin(), cut.end());
+  cut.erase(std::unique(cut.begin(), cut.end()), cut.end());
+  {
+    std::unordered_map<VertexId, bool> in_cut;
+    in_cut.reserve(cut.size());
+    for (VertexId v : cut) in_cut[v] = true;
+    std::vector<VertexId> filtered;
+    filtered.reserve(cut.size());
+    for (VertexId v : cut) {
+      bool covered = false;
+      for (VertexId p = nodes.at(v).parent; p != kInvalidVertex;) {
+        if (in_cut.count(p)) {
+          covered = true;
+          break;
+        }
+        auto it = nodes.find(p);
+        if (it == nodes.end()) break;
+        p = it->second.parent;
+      }
+      if (!covered) filtered.push_back(v);
+    }
+    cut = std::move(filtered);
+  }
+
+  DmQueryResult result;
+  Triangulate(nodes, cut, &result);
+  const auto t1 = std::chrono::steady_clock::now();
+  stats.cpu_millis +=
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  result.stats = stats;
+  return result;
+}
+
+Result<DmQueryResult> DmQueryProcessor::SingleBase(const ViewQuery& q) {
+  QueryStats stats;
+  const int64_t reads0 = store_->env()->stats().disk_reads;
+
+  NodeMap nodes;
+  DM_RETURN_NOT_OK(
+      FetchBox(Box::FromRect(q.roi, q.e_min, q.e_max), &nodes, &stats));
+
+  // Top-plane mesh: the cut at e_max (Algorithm 1, step 3).
+  std::vector<VertexId> start;
+  for (const auto& [id, n] : nodes) {
+    if (n.AliveAt(q.e_max)) start.push_back(id);
+  }
+  DmQueryResult result = RefineAndTriangulate(
+      [&q](const Point3& p) {
+        return std::max(q.RequiredE(p.x, p.y), q.e_min);
+      },
+      nodes, std::move(start), std::move(stats));
+  result.stats.disk_accesses = store_->env()->stats().disk_reads - reads0;
+  return result;
+}
+
+Result<DmQueryResult> DmQueryProcessor::Perspective(
+    const PerspectiveQuery& q) {
+  QueryStats stats;
+  const int64_t reads0 = store_->env()->stats().disk_reads;
+
+  double e_lo = 0.0;
+  double e_hi = 0.0;
+  q.Range(&e_lo, &e_hi);
+  NodeMap nodes;
+  DM_RETURN_NOT_OK(FetchBox(Box::FromRect(q.roi, e_lo, e_hi), &nodes,
+                            &stats));
+
+  std::vector<VertexId> start;
+  for (const auto& [id, n] : nodes) {
+    if (n.AliveAt(e_hi)) start.push_back(id);
+  }
+  DmQueryResult result = RefineAndTriangulate(
+      [&q](const Point3& p) { return q.RequiredE(p.x, p.y); }, nodes,
+      std::move(start), std::move(stats));
+  result.stats.disk_accesses = store_->env()->stats().disk_reads - reads0;
+  return result;
+}
+
+Result<DmQueryResult> DmQueryProcessor::MultiBase(const ViewQuery& q,
+                                                  int max_cubes) {
+  QueryStats stats;
+  const int64_t reads0 = store_->env()->stats().disk_reads;
+
+  const CostModelInputs inputs = store_->cost_inputs();
+  const std::vector<BaseCube> cubes =
+      OptimizeMultiBase(inputs, q.roi, q.gradient_along_y,
+                        [&](double t) { return q.EAt(t); }, max_cubes);
+
+  NodeMap nodes;
+  std::vector<VertexId> start;
+  for (const BaseCube& cube : cubes) {
+    const Box box = SliceBox(q.roi, q.gradient_along_y, cube);
+    NodeMap slice_nodes;
+    DM_RETURN_NOT_OK(FetchBox(box, &slice_nodes, &stats));
+    // This slice's top plane: its cut at the slice's e_hi, restricted
+    // to the slice (each point belongs to exactly one slice; the last
+    // slice owns its far edge).
+    for (auto& [id, n] : slice_nodes) {
+      if (n.AliveAt(cube.e_hi) && box.rect_xy().Contains(n.pos.x, n.pos.y)) {
+        start.push_back(id);
+      }
+      nodes.emplace(id, std::move(n));
+    }
+  }
+  // A node straddling a slice boundary can enter `start` from both
+  // slices (fetched twice); dedupe.
+  std::sort(start.begin(), start.end());
+  start.erase(std::unique(start.begin(), start.end()), start.end());
+
+  DmQueryResult result = RefineAndTriangulate(
+      [&q](const Point3& p) {
+        return std::max(q.RequiredE(p.x, p.y), q.e_min);
+      },
+      nodes, std::move(start), std::move(stats));
+  result.stats.disk_accesses = store_->env()->stats().disk_reads - reads0;
+  return result;
+}
+
+}  // namespace dm

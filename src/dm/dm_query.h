@@ -1,0 +1,135 @@
+#ifndef DIRECTMESH_DM_DM_QUERY_H_
+#define DIRECTMESH_DM_DM_QUERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "dm/dm_store.h"
+#include "mesh/triangle_mesh.h"
+
+namespace dm {
+
+/// A viewpoint-dependent query: a ROI plus a query plane whose LOD
+/// rises linearly from e_min (near edge, closest to the viewer) to
+/// e_max (far edge) along one footprint axis — the geometry of the
+/// paper's Figures 4/5/7 ("for simplicity of presentation, we assume
+/// the query plane is parallel to the x-axis").
+struct ViewQuery {
+  Rect roi;
+  double e_min = 0.0;
+  double e_max = 0.0;
+  /// true: LOD varies along y (plane parallel to the x-axis);
+  /// false: varies along x.
+  bool gradient_along_y = true;
+
+  /// The plane's LOD at fraction t in [0, 1] of the gradient axis.
+  double EAt(double t) const { return e_min + (e_max - e_min) * t; }
+
+  /// Required LOD at a footprint position (clamped to the ROI).
+  double RequiredE(double x, double y) const;
+
+  /// The paper's angle parametrization: tan(angle) = (e_max - e_min) /
+  /// roi extent; theta_max corresponds to e spanning [e_min,
+  /// dataset max] — see Section 6.2.
+  static ViewQuery FromAngle(const Rect& roi, double e_min,
+                             double angle_fraction, double dataset_max_lod,
+                             bool gradient_along_y = true);
+};
+
+/// A viewer-driven query using the paper's Section 2 rule: "the
+/// required LOD for a point in a viewpoint-dependent query can be
+/// estimated ... using the formula f(m.e, d) <= E for node m whose
+/// distance to the viewer is d". With the standard screen-space-error
+/// f(e, d) = e / d, a node may keep error e while e <= E * d: the
+/// required LOD grows linearly with the distance to the viewer.
+struct PerspectiveQuery {
+  Rect roi;
+  /// Viewer's footprint position.
+  Point2 viewer;
+  /// Tolerated error per unit of viewing distance (the constant E).
+  double tolerance = 0.05;
+  /// LOD clamp range: e_floor at the viewer, e_cap at the horizon
+  /// (usually the dataset maximum).
+  double e_floor = 0.0;
+  double e_cap = 0.0;
+
+  double RequiredE(double x, double y) const;
+  /// The LOD range the ROI can demand (min/max of RequiredE over it).
+  void Range(double* lo, double* hi) const;
+};
+
+/// Per-query measurements. `disk_accesses` is read from the shared
+/// buffer pool's miss counter (cold cache at query start), so it
+/// covers index pages and heap pages together.
+struct QueryStats {
+  int64_t disk_accesses = 0;
+  int64_t index_io = 0;         // portion of disk_accesses spent in indexes
+  int64_t nodes_fetched = 0;    // records decoded (incl. duplicates)
+  int64_t range_queries = 0;    // index probes issued
+  int64_t refinement_splits = 0;
+  int64_t refinement_misses = 0;  // splits lacking a fetched child
+  double cpu_millis = 0.0;        // mesh construction time
+};
+
+/// Result of a DM query: the final approximation (vertices with
+/// positions, plus triangles) and the fetched node set.
+struct DmQueryResult {
+  /// Final mesh vertices, sorted by id.
+  std::vector<VertexId> vertices;
+  std::vector<Point3> positions;  // parallel to `vertices`
+  std::vector<Triangle> triangles;
+  QueryStats stats;
+};
+
+/// Query processing over a DmStore (paper Section 5).
+class DmQueryProcessor {
+ public:
+  explicit DmQueryProcessor(DmStore* store) : store_(store) {}
+
+  /// Viewpoint-independent query Q(M, r, e): one 3D range query with
+  /// the plane r x {e}; the retrieved nodes are exactly the cut, and
+  /// their connection lists triangulate it (Section 5.1).
+  Result<DmQueryResult> ViewpointIndependent(const Rect& r, double e);
+
+  /// Single-base viewpoint-dependent query (Algorithm 1): fetch the
+  /// cube r x [e_min, e_max], build the top-plane mesh, refine down to
+  /// the query plane.
+  Result<DmQueryResult> SingleBase(const ViewQuery& q);
+
+  /// Multi-base viewpoint-dependent query (Section 5.3): the
+  /// cost-model optimizer splits the cube into up to `max_cubes`
+  /// staircase cubes, each fetched with its own range query.
+  Result<DmQueryResult> MultiBase(const ViewQuery& q, int max_cubes = 64);
+
+  /// Viewer-driven query with a radial required-LOD field (single
+  /// fetch cube; the multi-base staircase assumes a planar gradient
+  /// and does not apply).
+  Result<DmQueryResult> Perspective(const PerspectiveQuery& q);
+
+ private:
+  using NodeMap = std::unordered_map<VertexId, DmNode>;
+
+  /// Runs one 3D range query and decodes the records into `nodes`.
+  Status FetchBox(const Box& box, NodeMap* nodes, QueryStats* stats);
+
+  /// Shared tail of the viewpoint-dependent paths: refine `start` (the
+  /// top-plane cut) down to the required-LOD field, then triangulate.
+  DmQueryResult RefineAndTriangulate(
+      const std::function<double(const Point3&)>& required_e,
+      const NodeMap& nodes, std::vector<VertexId> start, QueryStats stats);
+
+  /// Builds the triangle mesh of a cut from connection lists.
+  static void Triangulate(const NodeMap& nodes,
+                          const std::vector<VertexId>& cut,
+                          DmQueryResult* result);
+
+  DmStore* store_;
+};
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_DM_DM_QUERY_H_

@@ -1,0 +1,156 @@
+#include "dm/dm_store.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dm/connectivity.h"
+
+namespace dm {
+
+Result<DmStore> DmStore::Build(DbEnv* env, const TriangleMesh& base,
+                               const PmTree& tree, const SimplifyResult& sr,
+                               const DmStoreOptions& options) {
+  const auto connections = BuildConnectionLists(base, tree, sr);
+  const int64_t total = tree.num_nodes();
+  const Rect bounds = tree.bounds();
+  const double max_lod = tree.max_lod();
+
+  // Vertical segments in (x, y, e); the root's +inf top is capped at
+  // the dataset maximum (no query ever exceeds it).
+  std::vector<Box> segments(static_cast<size_t>(total));
+  for (VertexId i = 0; i < total; ++i) {
+    const PmNode& n = tree.node(i);
+    const double top = std::isinf(n.e_high) ? max_lod : n.e_high;
+    segments[static_cast<size_t>(i)] =
+        Box::Of(n.pos.x, n.pos.y, n.e_low, n.pos.x, n.pos.y,
+                std::max(top, n.e_low));
+  }
+
+  // Records are laid out in the STR packing order of their index
+  // entries (clustered storage): records co-retrieved by a range query
+  // land on the same heap pages, and the packed R*-tree over the same
+  // order has near-disjoint leaves — this preserves "(x, y)
+  // clustering ... as much as possible" while also clustering the LOD
+  // dimension the paper's queries slice on.
+  const std::vector<size_t> order = RStarTree::StrOrder(
+      segments, RStarTree::LeafCapacityFor(env->page_size()));
+
+  DM_ASSIGN_OR_RETURN(HeapFile heap, HeapFile::Create(env));
+  std::vector<std::pair<Box, uint64_t>> entries;
+  entries.reserve(order.size());
+  std::vector<uint8_t> buf;
+  for (size_t idx : order) {
+    const PmNode& n = tree.node(static_cast<VertexId>(idx));
+    DmNode rec;
+    rec.id = n.id;
+    rec.pos = n.pos;
+    rec.e_low = n.e_low;
+    rec.e_high = n.e_high;
+    rec.parent = n.parent;
+    rec.child1 = n.child1;
+    rec.child2 = n.child2;
+    rec.wing1 = n.wing1;
+    rec.wing2 = n.wing2;
+    rec.connections = connections[idx];
+    buf.clear();
+    if (options.compress_records) {
+      rec.EncodeCompressedTo(&buf);
+    } else {
+      rec.EncodeTo(&buf);
+    }
+    DM_ASSIGN_OR_RETURN(
+        const RecordId rid,
+        heap.Append(buf.data(), static_cast<uint32_t>(buf.size())));
+    entries.emplace_back(segments[idx], rid.Pack());
+  }
+  DM_ASSIGN_OR_RETURN(RStarTree rtree, RStarTree::BulkLoad(env, entries));
+  DmStore store(env, std::move(heap), std::move(rtree));
+
+  store.meta_.heap_first = store.heap_.first_page();
+  store.meta_.rtree_root = store.rtree_.root();
+  store.meta_.rtree_size = store.rtree_.size();
+  store.meta_.num_nodes = total;
+  store.meta_.num_leaves = tree.num_leaves();
+  store.meta_.max_lod = max_lod;
+  store.meta_.mean_lod = tree.mean_lod();
+  store.meta_.bounds = bounds;
+  store.meta_.compressed = options.compress_records;
+  DM_RETURN_NOT_OK(store.LoadCatalog());
+  return store;
+}
+
+Result<DmStore> DmStore::Open(DbEnv* env, const DmMeta& meta) {
+  HeapFile heap = HeapFile::Open(env, meta.heap_first);
+  RStarTree rtree = RStarTree::Open(env, meta.rtree_root, meta.rtree_size);
+  DmStore store(env, std::move(heap), std::move(rtree));
+  store.meta_ = meta;
+  // Open() recomputed heap paging; meta_.rtree_root may have rotated
+  // since the caller's snapshot only if they persisted a stale meta —
+  // trust the caller.
+  DM_RETURN_NOT_OK(store.LoadCatalog());
+  return store;
+}
+
+Status DmStore::LoadCatalog() {
+  node_extents_.clear();
+  DM_RETURN_NOT_OK(rtree_.CollectNodeExtents(&node_extents_));
+  e_axis_map_ = EAxisMap::FromNodeExtents(node_extents_);
+  data_space_ = Box::FromRect(meta_.bounds.empty()
+                                  ? Rect::Of(0, 0, 1, 1)
+                                  : meta_.bounds,
+                              0.0, std::max(meta_.max_lod, 1e-12));
+  if (meta_.bounds.empty() && !node_extents_.empty()) {
+    // Build path: meta_ not yet filled when called from Build; the
+    // caller sets bounds before LoadCatalog, so this is only a guard.
+    data_space_ = node_extents_.front().box;
+  }
+
+  // Segment-interval sample for the record-level cost term: one pass
+  // over the index entries, thinning deterministically to stay small.
+  std::vector<std::pair<double, double>> sample;
+  {
+    constexpr size_t kMaxSample = 8192;
+    size_t stride = 1;
+    size_t counter = 0;
+    DM_RETURN_NOT_OK(rtree_.RangeQueryEntries(
+        data_space_, [&](const Box& b, uint64_t) {
+          if (counter++ % stride == 0) {
+            sample.emplace_back(b.lo[2], b.hi[2]);
+            if (sample.size() >= kMaxSample) {
+              // Thin: keep every other element, double the stride.
+              std::vector<std::pair<double, double>> thinned;
+              thinned.reserve(kMaxSample / 2);
+              for (size_t i = 0; i < sample.size(); i += 2) {
+                thinned.push_back(sample[i]);
+              }
+              sample = std::move(thinned);
+              stride *= 2;
+            }
+          }
+          return true;
+        }));
+  }
+  cost_inputs_.nodes = nullptr;  // re-bound by the accessor
+  cost_inputs_.data_space = data_space_;
+  cost_inputs_.e_map = e_axis_map_;
+  cost_inputs_.segment_sample = std::move(sample);
+  cost_inputs_.total_records = heap_.num_records();
+  cost_inputs_.records_per_page =
+      heap_.num_pages() > 0
+          ? static_cast<double>(heap_.num_records()) /
+                static_cast<double>(heap_.num_pages())
+          : 16.0;
+  return Status::OK();
+}
+
+Result<DmNode> DmStore::FetchNode(RecordId rid) const {
+  std::vector<uint8_t> buf;
+  DM_RETURN_NOT_OK(heap_.Get(rid, &buf));
+  if (meta_.compressed) {
+    return DmNode::DecodeCompressed(buf.data(),
+                                    static_cast<uint32_t>(buf.size()));
+  }
+  return DmNode::Decode(buf.data(), static_cast<uint32_t>(buf.size()));
+}
+
+}  // namespace dm

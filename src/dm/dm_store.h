@@ -1,0 +1,109 @@
+#ifndef DIRECTMESH_DM_DM_STORE_H_
+#define DIRECTMESH_DM_DM_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "dm/cost_model.h"
+#include "dm/dm_node.h"
+#include "index/rtree/rstar_tree.h"
+#include "mesh/triangle_mesh.h"
+#include "pm/pm_tree.h"
+#include "storage/db_env.h"
+#include "storage/heap_file.h"
+
+namespace dm {
+
+/// Persistent identifiers and dataset statistics of a built DM
+/// database; enough to reopen it without rebuilding.
+struct DmMeta {
+  PageId heap_first = kInvalidPage;
+  PageId rtree_root = kInvalidPage;
+  int64_t rtree_size = 0;
+  int64_t num_nodes = 0;
+  int64_t num_leaves = 0;
+  double max_lod = 0.0;
+  double mean_lod = 0.0;
+  Rect bounds;
+  /// Records stored with the compressed codec (DmNode::EncodeCompressedTo).
+  bool compressed = false;
+};
+
+/// Build-time options of a DM database.
+struct DmStoreOptions {
+  /// Store records with the delta/varint codec (the compressed-MTM
+  /// idea of the paper's reference [2]); cuts record size roughly in
+  /// half, which the compression ablation translates into disk
+  /// accesses.
+  bool compress_records = false;
+};
+
+/// A Direct Mesh database: DM node records in a heap file (appended in
+/// Hilbert order of (x, y) to preserve spatial clustering on disk) and
+/// a 3D R*-tree indexing each node as the vertical line segment
+/// <(x, y, e_low), (x, y, e_high)> in (x, y, e) space — Section 4 of
+/// the paper.
+class DmStore {
+ public:
+  /// Builds the database from a PM construction run: computes the
+  /// similar-LOD connection lists, writes all node records, and bulk
+  /// inserts the segments into the R*-tree.
+  static Result<DmStore> Build(DbEnv* env, const TriangleMesh& base,
+                               const PmTree& tree, const SimplifyResult& sr,
+                               const DmStoreOptions& options = {});
+
+  /// Reopens a previously built database.
+  static Result<DmStore> Open(DbEnv* env, const DmMeta& meta);
+
+  const DmMeta& meta() const { return meta_; }
+  DbEnv* env() const { return env_; }
+  const RStarTree& rtree() const { return rtree_; }
+  const HeapFile& heap() const { return heap_; }
+
+  /// Fetches and decodes one node record.
+  Result<DmNode> FetchNode(RecordId rid) const;
+
+  /// Cached node extents of the R*-tree for the multi-base cost model
+  /// (collected once at open/build; treated as catalog statistics, not
+  /// charged to query I/O).
+  const std::vector<RTreeNodeExtent>& node_extents() const {
+    return node_extents_;
+  }
+  /// Data-space box used for cost-model normalization.
+  const Box& data_space() const { return data_space_; }
+
+  /// Quantile map of the LOD axis for the cost model (see EAxisMap).
+  const EAxisMap& e_axis_map() const { return e_axis_map_; }
+
+  /// Full catalog snapshot for the query optimizer. Returned by value
+  /// with the node-extent pointer re-bound, so it stays valid even
+  /// though DmStore objects are moved around freely.
+  CostModelInputs cost_inputs() const {
+    CostModelInputs ci = cost_inputs_;
+    ci.nodes = &node_extents_;
+    return ci;
+  }
+
+ private:
+  DmStore(DbEnv* env, HeapFile heap, RStarTree rtree)
+      : env_(env), heap_(std::move(heap)), rtree_(std::move(rtree)) {}
+
+  Status LoadCatalog();
+
+  DbEnv* env_;
+  HeapFile heap_;
+  RStarTree rtree_;
+  DmMeta meta_;
+  std::vector<RTreeNodeExtent> node_extents_;
+  Box data_space_;
+  EAxisMap e_axis_map_;
+  CostModelInputs cost_inputs_;
+};
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_DM_DM_STORE_H_

@@ -1,0 +1,46 @@
+#ifndef DIRECTMESH_DM_VARINT_H_
+#define DIRECTMESH_DM_VARINT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dm {
+
+/// LEB128 unsigned varint append.
+inline void PutVarint(std::vector<uint8_t>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+/// LEB128 decode; advances *pos. Returns false on truncation.
+inline bool GetVarint(const uint8_t* data, uint32_t size, uint32_t* pos,
+                      uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (*pos < size && shift <= 63) {
+    const uint8_t byte = data[(*pos)++];
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+/// ZigZag transform for signed deltas.
+inline uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+inline int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_DM_VARINT_H_

@@ -1,0 +1,312 @@
+#include "index/btree/bplus_tree.h"
+
+#include <cstring>
+#include <vector>
+
+namespace dm {
+
+namespace {
+
+// Node layout.
+//   [node_type u8][pad u8][count u16]
+//   leaf:     [next_leaf u32] then count * (key i64, value u64)
+//   internal: [pad u32] [child0 u32] then count * (key i64, child u32)
+// Keys in an internal node separate children: child i holds keys
+// < key[i]; child count holds keys >= key[count-1].
+constexpr uint32_t kTypeOff = 0;
+constexpr uint32_t kCountOff = 2;
+constexpr uint32_t kNextLeafOff = 4;   // leaves
+constexpr uint32_t kChild0Off = 8;     // internals
+constexpr uint32_t kEntriesOff = 12;   // internals: after child0
+constexpr uint32_t kLeafEntriesOff = 8;
+constexpr uint8_t kLeaf = 1;
+constexpr uint8_t kInternal = 0;
+constexpr uint32_t kLeafEntrySize = 16;      // i64 + u64
+constexpr uint32_t kInternalEntrySize = 12;  // i64 + u32
+
+uint16_t LoadU16(const uint8_t* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+int64_t LoadI64(const uint8_t* p) {
+  int64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+void StoreU16(uint8_t* p, uint16_t v) { std::memcpy(p, &v, 2); }
+void StoreU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, 4); }
+void StoreI64(uint8_t* p, int64_t v) { std::memcpy(p, &v, 8); }
+void StoreU64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, 8); }
+
+uint32_t LeafCapacity(uint32_t page_size) {
+  return (page_size - kLeafEntriesOff) / kLeafEntrySize;
+}
+uint32_t InternalCapacity(uint32_t page_size) {
+  return (page_size - kEntriesOff) / kInternalEntrySize;
+}
+
+uint8_t* LeafEntry(uint8_t* page, uint32_t i) {
+  return page + kLeafEntriesOff + i * kLeafEntrySize;
+}
+const uint8_t* LeafEntry(const uint8_t* page, uint32_t i) {
+  return page + kLeafEntriesOff + i * kLeafEntrySize;
+}
+uint8_t* InternalEntry(uint8_t* page, uint32_t i) {
+  return page + kEntriesOff + i * kInternalEntrySize;
+}
+const uint8_t* InternalEntry(const uint8_t* page, uint32_t i) {
+  return page + kEntriesOff + i * kInternalEntrySize;
+}
+
+// First index i in the leaf with key[i] >= key.
+uint32_t LeafLowerBound(const uint8_t* page, uint32_t count, int64_t key) {
+  uint32_t lo = 0;
+  uint32_t hi = count;
+  while (lo < hi) {
+    const uint32_t mid = (lo + hi) / 2;
+    if (LoadI64(LeafEntry(page, mid)) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Child slot to descend into for `key`: number of separators <= key.
+uint32_t InternalChildIndex(const uint8_t* page, uint32_t count,
+                            int64_t key) {
+  uint32_t lo = 0;
+  uint32_t hi = count;
+  while (lo < hi) {
+    const uint32_t mid = (lo + hi) / 2;
+    if (LoadI64(InternalEntry(page, mid)) <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+PageId InternalChild(const uint8_t* page, uint32_t idx) {
+  if (idx == 0) return LoadU32(page + kChild0Off);
+  return LoadU32(InternalEntry(page, idx - 1) + 8);
+}
+
+}  // namespace
+
+Result<BPlusTree> BPlusTree::Create(DbEnv* env) {
+  DM_ASSIGN_OR_RETURN(PageGuard page, env->pool().NewPage());
+  page.data()[kTypeOff] = kLeaf;
+  StoreU16(page.data() + kCountOff, 0);
+  StoreU32(page.data() + kNextLeafOff, kInvalidPage);
+  page.MarkDirty();
+  return BPlusTree(env, page.id());
+}
+
+BPlusTree BPlusTree::Open(DbEnv* env, PageId root, int64_t size) {
+  BPlusTree t(env, root);
+  t.size_ = size;
+  return t;
+}
+
+Result<BPlusTree::SplitResult> BPlusTree::InsertRecursive(PageId node,
+                                                          int64_t key,
+                                                          uint64_t value) {
+  DM_ASSIGN_OR_RETURN(PageGuard page, env_->pool().Fetch(node));
+  const uint32_t page_size = env_->page_size();
+  uint16_t count = LoadU16(page.data() + kCountOff);
+
+  if (page.data()[kTypeOff] == kLeaf) {
+    const uint32_t pos = LeafLowerBound(page.data(), count, key);
+    if (pos < count && LoadI64(LeafEntry(page.data(), pos)) == key) {
+      StoreU64(LeafEntry(page.data(), pos) + 8, value);  // overwrite
+      page.MarkDirty();
+      return SplitResult{};
+    }
+    if (count < LeafCapacity(page_size)) {
+      std::memmove(LeafEntry(page.data(), pos + 1),
+                   LeafEntry(page.data(), pos),
+                   (count - pos) * kLeafEntrySize);
+      StoreI64(LeafEntry(page.data(), pos), key);
+      StoreU64(LeafEntry(page.data(), pos) + 8, value);
+      StoreU16(page.data() + kCountOff, static_cast<uint16_t>(count + 1));
+      page.MarkDirty();
+      ++size_;
+      return SplitResult{};
+    }
+    // Split the leaf: left keeps half, right takes the rest.
+    DM_ASSIGN_OR_RETURN(PageGuard right, env_->pool().NewPage());
+    right.data()[kTypeOff] = kLeaf;
+    const uint32_t left_n = count / 2;
+    const uint32_t right_n = count - left_n;
+    std::memcpy(LeafEntry(right.data(), 0), LeafEntry(page.data(), left_n),
+                right_n * kLeafEntrySize);
+    StoreU16(right.data() + kCountOff, static_cast<uint16_t>(right_n));
+    StoreU32(right.data() + kNextLeafOff,
+             LoadU32(page.data() + kNextLeafOff));
+    StoreU16(page.data() + kCountOff, static_cast<uint16_t>(left_n));
+    StoreU32(page.data() + kNextLeafOff, right.id());
+    right.MarkDirty();
+    page.MarkDirty();
+    // Insert into the appropriate half.
+    const int64_t sep = LoadI64(LeafEntry(right.data(), 0));
+    PageGuard* target = key < sep ? &page : &right;
+    uint16_t tcount = LoadU16(target->data() + kCountOff);
+    const uint32_t tpos = LeafLowerBound(target->data(), tcount, key);
+    std::memmove(LeafEntry(target->data(), tpos + 1),
+                 LeafEntry(target->data(), tpos),
+                 (tcount - tpos) * kLeafEntrySize);
+    StoreI64(LeafEntry(target->data(), tpos), key);
+    StoreU64(LeafEntry(target->data(), tpos) + 8, value);
+    StoreU16(target->data() + kCountOff, static_cast<uint16_t>(tcount + 1));
+    target->MarkDirty();
+    ++size_;
+    SplitResult res;
+    res.split = true;
+    res.sep_key = LoadI64(LeafEntry(right.data(), 0));
+    res.right = right.id();
+    return res;
+  }
+
+  // Internal node.
+  const uint32_t idx = InternalChildIndex(page.data(), count, key);
+  const PageId child = InternalChild(page.data(), idx);
+  // Release the pin across the recursive call to bound pin depth? Keep
+  // it: tree height is tiny (<6) and pinned path splits are simpler.
+  DM_ASSIGN_OR_RETURN(SplitResult child_split,
+                      InsertRecursive(child, key, value));
+  if (!child_split.split) return SplitResult{};
+
+  // Insert (sep_key, right) after slot idx.
+  if (count < InternalCapacity(page_size)) {
+    std::memmove(InternalEntry(page.data(), idx + 1),
+                 InternalEntry(page.data(), idx),
+                 (count - idx) * kInternalEntrySize);
+    StoreI64(InternalEntry(page.data(), idx), child_split.sep_key);
+    StoreU32(InternalEntry(page.data(), idx) + 8, child_split.right);
+    StoreU16(page.data() + kCountOff, static_cast<uint16_t>(count + 1));
+    page.MarkDirty();
+    return SplitResult{};
+  }
+
+  // Split the internal node. Gather entries into a scratch vector,
+  // insert, redistribute around the median.
+  struct Entry {
+    int64_t key;
+    PageId child;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(count + 1u);
+  for (uint32_t i = 0; i < count; ++i) {
+    entries.push_back(Entry{LoadI64(InternalEntry(page.data(), i)),
+                            LoadU32(InternalEntry(page.data(), i) + 8)});
+  }
+  entries.insert(entries.begin() + idx,
+                 Entry{child_split.sep_key, child_split.right});
+  const PageId child0 = LoadU32(page.data() + kChild0Off);
+
+  const uint32_t total = static_cast<uint32_t>(entries.size());
+  const uint32_t mid = total / 2;  // entries[mid] moves up
+  DM_ASSIGN_OR_RETURN(PageGuard right, env_->pool().NewPage());
+  right.data()[kTypeOff] = kInternal;
+  StoreU32(right.data() + kChild0Off, entries[mid].child);
+  uint32_t rn = 0;
+  for (uint32_t i = mid + 1; i < total; ++i, ++rn) {
+    StoreI64(InternalEntry(right.data(), rn), entries[i].key);
+    StoreU32(InternalEntry(right.data(), rn) + 8, entries[i].child);
+  }
+  StoreU16(right.data() + kCountOff, static_cast<uint16_t>(rn));
+  right.MarkDirty();
+
+  StoreU32(page.data() + kChild0Off, child0);
+  for (uint32_t i = 0; i < mid; ++i) {
+    StoreI64(InternalEntry(page.data(), i), entries[i].key);
+    StoreU32(InternalEntry(page.data(), i) + 8, entries[i].child);
+  }
+  StoreU16(page.data() + kCountOff, static_cast<uint16_t>(mid));
+  page.MarkDirty();
+
+  SplitResult res;
+  res.split = true;
+  res.sep_key = entries[mid].key;
+  res.right = right.id();
+  return res;
+}
+
+Status BPlusTree::Insert(int64_t key, uint64_t value) {
+  DM_ASSIGN_OR_RETURN(SplitResult split, InsertRecursive(root_, key, value));
+  if (!split.split) return Status::OK();
+  // Grow a new root.
+  DM_ASSIGN_OR_RETURN(PageGuard new_root, env_->pool().NewPage());
+  new_root.data()[kTypeOff] = kInternal;
+  StoreU16(new_root.data() + kCountOff, 1);
+  StoreU32(new_root.data() + kChild0Off, root_);
+  StoreI64(InternalEntry(new_root.data(), 0), split.sep_key);
+  StoreU32(InternalEntry(new_root.data(), 0) + 8, split.right);
+  new_root.MarkDirty();
+  root_ = new_root.id();
+  ++height_;
+  return Status::OK();
+}
+
+Result<std::optional<uint64_t>> BPlusTree::Get(int64_t key) const {
+  PageId node = root_;
+  while (true) {
+    DM_ASSIGN_OR_RETURN(PageGuard page, env_->pool().Fetch(node));
+    const uint16_t count = LoadU16(page.data() + kCountOff);
+    if (page.data()[kTypeOff] == kLeaf) {
+      const uint32_t pos = LeafLowerBound(page.data(), count, key);
+      if (pos < count && LoadI64(LeafEntry(page.data(), pos)) == key) {
+        return std::optional<uint64_t>(
+            LoadU64(LeafEntry(page.data(), pos) + 8));
+      }
+      return std::optional<uint64_t>();
+    }
+    node = InternalChild(page.data(),
+                         InternalChildIndex(page.data(), count, key));
+  }
+}
+
+Status BPlusTree::Scan(
+    int64_t lo, int64_t hi,
+    const std::function<bool(int64_t, uint64_t)>& callback) const {
+  // Descend to the leaf containing lo.
+  PageId node = root_;
+  while (true) {
+    DM_ASSIGN_OR_RETURN(PageGuard page, env_->pool().Fetch(node));
+    const uint16_t count = LoadU16(page.data() + kCountOff);
+    if (page.data()[kTypeOff] == kLeaf) break;
+    node = InternalChild(page.data(),
+                         InternalChildIndex(page.data(), count, lo));
+  }
+  // Walk the leaf chain.
+  while (node != kInvalidPage) {
+    DM_ASSIGN_OR_RETURN(PageGuard page, env_->pool().Fetch(node));
+    const uint16_t count = LoadU16(page.data() + kCountOff);
+    for (uint32_t i = LeafLowerBound(page.data(), count, lo); i < count;
+         ++i) {
+      const int64_t k = LoadI64(LeafEntry(page.data(), i));
+      if (k > hi) return Status::OK();
+      if (!callback(k, LoadU64(LeafEntry(page.data(), i) + 8))) {
+        return Status::OK();
+      }
+    }
+    node = LoadU32(page.data() + kNextLeafOff);
+  }
+  return Status::OK();
+}
+
+}  // namespace dm

@@ -1,0 +1,497 @@
+#include "index/lodquadtree/lod_quadtree.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+namespace dm {
+
+namespace {
+
+// Node page layout. Every node stores its region box explicitly.
+//   common: [type u8][split_dim u8][count u16][pad u32]
+//           [region box 6 x f64 = 48 bytes]
+//   leaf (type 1): [next_overflow u32][pad u32]
+//                  then count * (x f64, y f64, e f64, payload u64)
+//   internal (type 0): split_dim 0 => 4 children (x, y quadrants,
+//                  order: SW, SE, NW, NE around the region center);
+//                  split_dim 1 => 2 children (e <= split_e, e > split_e)
+//                  [split_e f64][children u32 x 4]
+constexpr uint32_t kTypeOff = 0;
+constexpr uint32_t kSplitDimOff = 1;
+constexpr uint32_t kCountOff = 2;
+constexpr uint32_t kBoxOff = 8;
+constexpr uint32_t kLeafNextOff = 56;
+constexpr uint32_t kLeafEntriesOff = 64;
+constexpr uint32_t kSplitEOff = 56;
+constexpr uint32_t kChildrenOff = 64;
+constexpr uint32_t kInternalEnd = 80;
+constexpr uint8_t kLeaf = 1;
+constexpr uint8_t kInternal = 0;
+constexpr uint32_t kPointSize = 32;
+
+struct PointEntry {
+  double x, y, e;
+  uint64_t payload;
+};
+
+void StoreBox(uint8_t* page, const Box& box) {
+  std::memcpy(page + kBoxOff, box.lo.data(), 24);
+  std::memcpy(page + kBoxOff + 24, box.hi.data(), 24);
+}
+Box LoadBox(const uint8_t* page) {
+  Box box;
+  std::memcpy(box.lo.data(), page + kBoxOff, 24);
+  std::memcpy(box.hi.data(), page + kBoxOff + 24, 24);
+  return box;
+}
+uint16_t LoadCount(const uint8_t* page) {
+  uint16_t c;
+  std::memcpy(&c, page + kCountOff, 2);
+  return c;
+}
+void StoreCount(uint8_t* page, uint16_t c) {
+  std::memcpy(page + kCountOff, &c, 2);
+}
+PointEntry LoadPoint(const uint8_t* page, uint32_t i) {
+  PointEntry p;
+  std::memcpy(&p, page + kLeafEntriesOff + i * kPointSize, kPointSize);
+  return p;
+}
+void StorePoint(uint8_t* page, uint32_t i, const PointEntry& p) {
+  std::memcpy(page + kLeafEntriesOff + i * kPointSize, &p, kPointSize);
+}
+
+}  // namespace
+
+uint32_t LodQuadtree::LeafCapacity() const {
+  return (env_->page_size() - kLeafEntriesOff) / kPointSize;
+}
+
+Result<LodQuadtree> LodQuadtree::Create(DbEnv* env, const Rect& bounds,
+                                        double e_max) {
+  DM_ASSIGN_OR_RETURN(PageGuard page, env->pool().NewPage());
+  page.data()[kTypeOff] = kLeaf;
+  StoreCount(page.data(), 0);
+  StoreBox(page.data(), Box::FromRect(bounds, 0.0, e_max));
+  uint32_t invalid = kInvalidPage;
+  std::memcpy(page.data() + kLeafNextOff, &invalid, 4);
+  page.MarkDirty();
+  return LodQuadtree(env, page.id());
+}
+
+LodQuadtree LodQuadtree::Open(DbEnv* env, PageId root, int64_t size) {
+  LodQuadtree t(env, root);
+  t.size_ = size;
+  return t;
+}
+
+Status LodQuadtree::Insert(double x, double y, double e, uint64_t payload) {
+  DM_RETURN_NOT_OK(InsertInto(root_, x, y, e, payload));
+  ++size_;
+  return Status::OK();
+}
+
+Status LodQuadtree::InsertInto(PageId node, double x, double y, double e,
+                               uint64_t payload) {
+  while (true) {
+    DM_ASSIGN_OR_RETURN(PageGuard page, env_->pool().Fetch(node));
+    if (page.data()[kTypeOff] == kInternal) {
+      const Box region = LoadBox(page.data());
+      const uint8_t dim = page.data()[kSplitDimOff];
+      uint32_t child_idx;
+      if (dim == 0) {
+        const double cx = (region.lo[0] + region.hi[0]) / 2;
+        const double cy = (region.lo[1] + region.hi[1]) / 2;
+        child_idx = (x >= cx ? 1u : 0u) | (y >= cy ? 2u : 0u);
+      } else {
+        double split_e;
+        std::memcpy(&split_e, page.data() + kSplitEOff, 8);
+        child_idx = e > split_e ? 1u : 0u;
+      }
+      PageId child;
+      std::memcpy(&child, page.data() + kChildrenOff + child_idx * 4, 4);
+      node = child;
+      continue;
+    }
+    // Leaf: append here or in its overflow chain.
+    const uint32_t cap = LeafCapacity();
+    uint16_t count = LoadCount(page.data());
+    if (count < cap) {
+      StorePoint(page.data(), count, PointEntry{x, y, e, payload});
+      StoreCount(page.data(), static_cast<uint16_t>(count + 1));
+      page.MarkDirty();
+      return Status::OK();
+    }
+    // Full. Try splitting; SplitLeaf falls back to an overflow page
+    // when the points cannot be separated.
+    const PageId leaf_id = page.id();
+    page.Release();
+    DM_RETURN_NOT_OK(SplitLeaf(leaf_id));
+    // Retry from this node (now internal, or leaf with free space in
+    // the overflow chain head swap).
+  }
+}
+
+Status LodQuadtree::SplitLeaf(PageId leaf_id) {
+  DM_ASSIGN_OR_RETURN(PageGuard page, env_->pool().Fetch(leaf_id));
+  const Box region = LoadBox(page.data());
+  // Gather the head page's points plus any overflow chain (a chain
+  // forms when earlier contents were inseparable; a later split must
+  // redistribute those points too).
+  std::vector<PointEntry> points;
+  {
+    const uint16_t head_count = LoadCount(page.data());
+    points.reserve(head_count);
+    for (uint32_t i = 0; i < head_count; ++i) {
+      points.push_back(LoadPoint(page.data(), i));
+    }
+    PageId next;
+    std::memcpy(&next, page.data() + kLeafNextOff, 4);
+    while (next != kInvalidPage) {
+      DM_ASSIGN_OR_RETURN(PageGuard ov, env_->pool().Fetch(next));
+      const uint16_t c = LoadCount(ov.data());
+      for (uint32_t i = 0; i < c; ++i) {
+        points.push_back(LoadPoint(ov.data(), i));
+      }
+      std::memcpy(&next, ov.data() + kLeafNextOff, 4);
+    }
+  }
+
+  // Choose the split dimension adaptively: compare the spread of the
+  // points in (x, y) vs e, each normalized by the region extent.
+  double min_x = points[0].x, max_x = points[0].x;
+  double min_y = points[0].y, max_y = points[0].y;
+  double min_e = points[0].e, max_e = points[0].e;
+  for (const auto& p : points) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+    min_e = std::min(min_e, p.e);
+    max_e = std::max(max_e, p.e);
+  }
+  const double ext_xy =
+      std::max(region.Extent(0), region.Extent(1)) + 1e-300;
+  const double ext_e = region.Extent(2) + 1e-300;
+  const double spread_xy =
+      std::max(max_x - min_x, max_y - min_y) / ext_xy;
+  const double spread_e = (max_e - min_e) / ext_e;
+
+  const double cx = (region.lo[0] + region.hi[0]) / 2;
+  const double cy = (region.lo[1] + region.hi[1]) / 2;
+
+  // Writes `pts` as a chain of leaf pages covering `box`; returns the
+  // head page id. Chaining keeps the structure correct even if a
+  // child receives more points than one page holds.
+  const uint32_t cap = LeafCapacity();
+  auto write_leaf_chain =
+      [&](const Box& box,
+          const std::vector<PointEntry>& pts) -> Result<PageId> {
+    PageId head = kInvalidPage;
+    PageId prev = kInvalidPage;
+    size_t off = 0;
+    do {
+      DM_ASSIGN_OR_RETURN(PageGuard p, env_->pool().NewPage());
+      p.data()[kTypeOff] = kLeaf;
+      StoreBox(p.data(), box);
+      const uint32_t n =
+          static_cast<uint32_t>(std::min<size_t>(cap, pts.size() - off));
+      for (uint32_t i = 0; i < n; ++i) {
+        StorePoint(p.data(), i, pts[off + i]);
+      }
+      StoreCount(p.data(), static_cast<uint16_t>(n));
+      uint32_t invalid = kInvalidPage;
+      std::memcpy(p.data() + kLeafNextOff, &invalid, 4);
+      p.MarkDirty();
+      if (head == kInvalidPage) {
+        head = p.id();
+      } else {
+        DM_ASSIGN_OR_RETURN(PageGuard pp, env_->pool().Fetch(prev));
+        const uint32_t id32 = p.id();
+        std::memcpy(pp.data() + kLeafNextOff, &id32, 4);
+        pp.MarkDirty();
+      }
+      prev = p.id();
+      off += n;
+    } while (off < pts.size());
+    return head;
+  };
+
+  bool split_e_dim = spread_e > spread_xy;
+  double split_e_value = 0.0;
+  if (split_e_dim) {
+    // Median split on e (adaptive to the heavy skew of LOD values).
+    std::vector<double> es;
+    es.reserve(points.size());
+    for (const auto& p : points) es.push_back(p.e);
+    std::nth_element(es.begin(), es.begin() + es.size() / 2, es.end());
+    split_e_value = es[es.size() / 2];
+    // Degenerate medians (all e above/below) cannot separate.
+    size_t lo_n = 0;
+    for (const auto& p : points) lo_n += p.e <= split_e_value ? 1 : 0;
+    if (lo_n == 0 || lo_n == points.size()) split_e_dim = false;
+  }
+  if (!split_e_dim) {
+    // Check the quad split separates at least one point.
+    bool separable = false;
+    const uint32_t q0 =
+        (points[0].x >= cx ? 1u : 0u) | (points[0].y >= cy ? 2u : 0u);
+    for (const auto& p : points) {
+      const uint32_t q = (p.x >= cx ? 1u : 0u) | (p.y >= cy ? 2u : 0u);
+      if (q != q0) {
+        separable = true;
+        break;
+      }
+    }
+    if (!separable && spread_e > 0) {
+      // Points identical in (x, y); force an e median split if it can
+      // separate (recheck).
+      std::vector<double> es;
+      for (const auto& p : points) es.push_back(p.e);
+      std::nth_element(es.begin(), es.begin() + es.size() / 2, es.end());
+      split_e_value = es[es.size() / 2];
+      size_t lo_n = 0;
+      for (const auto& p : points) lo_n += p.e <= split_e_value ? 1 : 0;
+      if (lo_n > 0 && lo_n < points.size()) {
+        split_e_dim = true;
+        separable = true;
+      }
+    }
+    if (!separable && !split_e_dim) {
+      // All points coincide in every dimension: chain an overflow page.
+      // The old page becomes the overflow and a fresh head replaces it
+      // in place, keeping the parent pointer stable.
+      DM_ASSIGN_OR_RETURN(PageGuard overflow, env_->pool().NewPage());
+      std::memcpy(overflow.data(), page.data(), env_->page_size());
+      uint8_t* d = page.data();
+      StoreCount(d, 0);
+      const uint32_t ov = overflow.id();
+      std::memcpy(d + kLeafNextOff, &ov, 4);
+      overflow.MarkDirty();
+      page.MarkDirty();
+      return Status::OK();
+    }
+  }
+
+  // Build children and convert this page to an internal node. (Old
+  // overflow pages of this leaf become unreferenced; the file is
+  // build-once, so the space is not reclaimed.)
+  PageId children[4] = {kInvalidPage, kInvalidPage, kInvalidPage,
+                        kInvalidPage};
+  if (split_e_dim) {
+    Box lo_box = region;
+    lo_box.hi[2] = split_e_value;
+    Box hi_box = region;
+    hi_box.lo[2] = split_e_value;
+    std::vector<PointEntry> lo_pts;
+    std::vector<PointEntry> hi_pts;
+    for (const auto& p : points) {
+      (p.e > split_e_value ? hi_pts : lo_pts).push_back(p);
+    }
+    DM_ASSIGN_OR_RETURN(children[0], write_leaf_chain(lo_box, lo_pts));
+    DM_ASSIGN_OR_RETURN(children[1], write_leaf_chain(hi_box, hi_pts));
+  } else {
+    std::vector<PointEntry> quads[4];
+    for (const auto& p : points) {
+      const uint32_t q = (p.x >= cx ? 1u : 0u) | (p.y >= cy ? 2u : 0u);
+      quads[q].push_back(p);
+    }
+    for (uint32_t q = 0; q < 4; ++q) {
+      Box b = region;
+      if (q & 1) {
+        b.lo[0] = cx;
+      } else {
+        b.hi[0] = cx;
+      }
+      if (q & 2) {
+        b.lo[1] = cy;
+      } else {
+        b.hi[1] = cy;
+      }
+      DM_ASSIGN_OR_RETURN(children[q], write_leaf_chain(b, quads[q]));
+    }
+  }
+
+  uint8_t* d = page.data();
+  d[kTypeOff] = kInternal;
+  d[kSplitDimOff] = split_e_dim ? 1 : 0;
+  StoreCount(d, split_e_dim ? 2 : 4);
+  if (split_e_dim) std::memcpy(d + kSplitEOff, &split_e_value, 8);
+  std::memcpy(d + kChildrenOff, children, 16);
+  static_assert(kInternalEnd == kChildrenOff + 16);
+  page.MarkDirty();
+  return Status::OK();
+}
+
+Status LodQuadtree::RangeQuery(const Box& query,
+                               std::vector<uint64_t>* out) const {
+  return RangeQueryEntries(
+      query, [out](double, double, double, uint64_t payload) {
+        out->push_back(payload);
+        return true;
+      });
+}
+
+Status LodQuadtree::RangeQueryEntries(
+    const Box& query,
+    const std::function<bool(double, double, double, uint64_t)>& callback)
+    const {
+  std::vector<PageId> stack{root_};
+  while (!stack.empty()) {
+    const PageId id = stack.back();
+    stack.pop_back();
+    DM_ASSIGN_OR_RETURN(PageGuard page, env_->pool().Fetch(id));
+    const Box region = LoadBox(page.data());
+    if (!region.Intersects(query)) continue;
+    if (page.data()[kTypeOff] == kInternal) {
+      const uint16_t n = LoadCount(page.data());
+      for (uint16_t i = 0; i < n; ++i) {
+        PageId child;
+        std::memcpy(&child, page.data() + kChildrenOff + i * 4, 4);
+        stack.push_back(child);
+      }
+      continue;
+    }
+    const uint16_t count = LoadCount(page.data());
+    for (uint32_t i = 0; i < count; ++i) {
+      const PointEntry p = LoadPoint(page.data(), i);
+      if (query.Contains(p.x, p.y, p.e)) {
+        if (!callback(p.x, p.y, p.e, p.payload)) return Status::OK();
+      }
+    }
+    PageId next;
+    std::memcpy(&next, page.data() + kLeafNextOff, 4);
+    if (next != kInvalidPage) stack.push_back(next);
+  }
+  return Status::OK();
+}
+
+std::vector<size_t> LodQuadtree::ClusterOrder(
+    const std::vector<Point>& points, const Rect& bounds, double e_max,
+    uint32_t leaf_capacity) {
+  std::vector<size_t> order(points.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (leaf_capacity == 0) return order;
+
+  // Recursive in-memory mirror of SplitLeaf's adaptive rule, emitting
+  // leaves in DFS order (which is the order RangeQuery visits them).
+  std::vector<size_t> out;
+  out.reserve(points.size());
+  const std::function<void(std::vector<size_t>&, const Box&)> recurse =
+      [&](std::vector<size_t>& span, const Box& region) {
+        if (span.size() <= leaf_capacity) {
+          out.insert(out.end(), span.begin(), span.end());
+          return;
+        }
+        double min_x = points[span[0]].x, max_x = min_x;
+        double min_y = points[span[0]].y, max_y = min_y;
+        double min_e = points[span[0]].e, max_e = min_e;
+        for (size_t i : span) {
+          min_x = std::min(min_x, points[i].x);
+          max_x = std::max(max_x, points[i].x);
+          min_y = std::min(min_y, points[i].y);
+          max_y = std::max(max_y, points[i].y);
+          min_e = std::min(min_e, points[i].e);
+          max_e = std::max(max_e, points[i].e);
+        }
+        const double ext_xy =
+            std::max(region.Extent(0), region.Extent(1)) + 1e-300;
+        const double ext_e = region.Extent(2) + 1e-300;
+        const double spread_xy =
+            std::max(max_x - min_x, max_y - min_y) / ext_xy;
+        const double spread_e = (max_e - min_e) / ext_e;
+        const double cx = (region.lo[0] + region.hi[0]) / 2;
+        const double cy = (region.lo[1] + region.hi[1]) / 2;
+
+        bool use_e = spread_e > spread_xy;
+        double split_e = 0.0;
+        if (use_e) {
+          std::vector<double> es;
+          es.reserve(span.size());
+          for (size_t i : span) es.push_back(points[i].e);
+          std::nth_element(es.begin(), es.begin() + es.size() / 2,
+                           es.end());
+          split_e = es[es.size() / 2];
+          size_t lo_n = 0;
+          for (size_t i : span) lo_n += points[i].e <= split_e ? 1 : 0;
+          if (lo_n == 0 || lo_n == span.size()) use_e = false;
+        }
+        if (use_e) {
+          std::vector<size_t> lo;
+          std::vector<size_t> hi;
+          for (size_t i : span) {
+            (points[i].e > split_e ? hi : lo).push_back(i);
+          }
+          Box lo_box = region;
+          lo_box.hi[2] = split_e;
+          Box hi_box = region;
+          hi_box.lo[2] = split_e;
+          recurse(lo, lo_box);
+          recurse(hi, hi_box);
+          return;
+        }
+        std::vector<size_t> quads[4];
+        for (size_t i : span) {
+          const uint32_t q = (points[i].x >= cx ? 1u : 0u) |
+                             (points[i].y >= cy ? 2u : 0u);
+          quads[q].push_back(i);
+        }
+        bool separable = false;
+        for (uint32_t q = 0; q < 4; ++q) {
+          separable |= !quads[q].empty() && quads[q].size() != span.size();
+        }
+        if (!separable) {
+          // Identical points: emit as one run.
+          out.insert(out.end(), span.begin(), span.end());
+          return;
+        }
+        for (uint32_t q = 0; q < 4; ++q) {
+          if (quads[q].empty()) continue;
+          Box b = region;
+          if (q & 1) {
+            b.lo[0] = cx;
+          } else {
+            b.hi[0] = cx;
+          }
+          if (q & 2) {
+            b.lo[1] = cy;
+          } else {
+            b.hi[1] = cy;
+          }
+          recurse(quads[q], b);
+        }
+      };
+  recurse(order, Box::FromRect(bounds, 0.0, e_max));
+  return out;
+}
+
+Status LodQuadtree::CountNodes(int64_t* internal_nodes,
+                               int64_t* leaf_nodes) const {
+  *internal_nodes = 0;
+  *leaf_nodes = 0;
+  std::vector<PageId> stack{root_};
+  while (!stack.empty()) {
+    const PageId id = stack.back();
+    stack.pop_back();
+    DM_ASSIGN_OR_RETURN(PageGuard page, env_->pool().Fetch(id));
+    if (page.data()[kTypeOff] == kInternal) {
+      ++*internal_nodes;
+      const uint16_t n = LoadCount(page.data());
+      for (uint16_t i = 0; i < n; ++i) {
+        PageId child;
+        std::memcpy(&child, page.data() + kChildrenOff + i * 4, 4);
+        stack.push_back(child);
+      }
+    } else {
+      ++*leaf_nodes;
+      PageId next;
+      std::memcpy(&next, page.data() + kLeafNextOff, 4);
+      if (next != kInvalidPage) stack.push_back(next);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dm

@@ -1,0 +1,128 @@
+#ifndef DIRECTMESH_INDEX_RTREE_RSTAR_TREE_H_
+#define DIRECTMESH_INDEX_RTREE_RSTAR_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "storage/db_env.h"
+#include "storage/page.h"
+
+namespace dm {
+
+/// The MBR and level of one R*-tree node; the multi-base optimizer
+/// feeds these into the Kamel-Faloutsos expected-disk-access formula,
+/// which sums over the nodes of the index ("the size of R-tree nodes
+/// can be found from the R-tree index").
+struct RTreeNodeExtent {
+  Box box;
+  uint16_t level = 0;  // 0 = leaf
+  uint16_t count = 0;
+};
+
+/// Disk-based R*-tree (Beckmann et al., SIGMOD 1990) over 3D boxes.
+/// 2D indexing uses degenerate boxes (lo[2] == hi[2] == 0). One node
+/// per page; entries are (Box, payload) where payload is a child page
+/// id in internal nodes and an opaque 64-bit value (typically a packed
+/// RecordId) in leaves.
+///
+/// Implements the full R* insertion heuristics: least-overlap
+/// ChooseSubtree at the leaf level, forced reinsert of the 30%
+/// farthest entries on first overflow per level, and the
+/// margin-driven topological split.
+class RStarTree {
+ public:
+  /// Creates an empty tree (root = empty leaf) in `env`.
+  static Result<RStarTree> Create(DbEnv* env);
+
+  /// Opens an existing tree.
+  static RStarTree Open(DbEnv* env, PageId root, int64_t size);
+
+  /// Computes the Sort-Tile-Recursive packing order (Leutenegger et
+  /// al.; the packed R-trees of Kamel-Faloutsos that the paper's cost
+  /// model assumes): the returned permutation lists the boxes in leaf
+  /// order, consecutive `leaf_capacity`-sized runs forming one leaf.
+  /// Callers that co-locate records with the index (clustered storage)
+  /// write their data file in this order.
+  static std::vector<size_t> StrOrder(const std::vector<Box>& boxes,
+                                      uint32_t leaf_capacity);
+  /// Capacity used by BulkLoad leaves (== MaxEntries()).
+  static uint32_t LeafCapacityFor(uint32_t page_size);
+
+  /// Builds a packed tree from entries already arranged in StrOrder.
+  static Result<RStarTree> BulkLoad(
+      DbEnv* env, const std::vector<std::pair<Box, uint64_t>>& ordered);
+
+  PageId root() const { return root_; }
+  int64_t size() const { return size_; }
+  /// Number of levels (1 = the root is a leaf).
+  Result<int> Height() const;
+
+  Status Insert(const Box& box, uint64_t payload);
+
+  /// Collects payloads of all leaf entries whose box intersects
+  /// `query`.
+  Status RangeQuery(const Box& query, std::vector<uint64_t>* out) const;
+
+  /// Streaming variant exposing entry boxes; callback may return false
+  /// to stop.
+  Status RangeQueryEntries(
+      const Box& query,
+      const std::function<bool(const Box&, uint64_t)>& callback) const;
+
+  /// Enumerates every node's MBR/level/count (root included).
+  Status CollectNodeExtents(std::vector<RTreeNodeExtent>* out) const;
+
+  /// The MBR of the whole tree (empty box when the tree is empty).
+  Result<Box> RootBox() const;
+
+ private:
+  struct Entry {
+    Box box;
+    uint64_t payload = 0;
+  };
+  struct Node {
+    uint16_t level = 0;
+    std::vector<Entry> entries;
+  };
+
+  RStarTree(DbEnv* env, PageId root) : env_(env), root_(root) {}
+
+  uint32_t MaxEntries() const;
+  uint32_t MinEntries() const;
+
+  Result<Node> ReadNode(PageId id) const;
+  Status WriteNode(PageId id, const Node& node);
+  Result<PageId> AllocNode(const Node& node);
+
+  /// Root-to-target path of page ids; `slots[i]` is the entry index of
+  /// path[i+1] inside path[i].
+  struct Path {
+    std::vector<PageId> pages;
+    std::vector<uint32_t> slots;
+  };
+  Result<Path> ChoosePath(const Box& box, uint16_t target_level) const;
+
+  /// Recomputes exact parent MBRs along the path, bottom-up.
+  Status AdjustPath(const Path& path);
+
+  /// Overflow at path.back(); splits or force-reinserts.
+  Status HandleOverflow(Path path, std::vector<bool>* reinserted);
+
+  Status InsertEntry(const Entry& entry, uint16_t target_level,
+                     std::vector<bool>* reinserted);
+
+  static Box NodeBox(const Node& node);
+  static void SplitNode(const Node& node, uint32_t min_entries, Node* left,
+                        Node* right);
+
+  DbEnv* env_;
+  PageId root_;
+  int64_t size_ = 0;
+};
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_INDEX_RTREE_RSTAR_TREE_H_

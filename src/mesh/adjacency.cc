@@ -1,0 +1,140 @@
+#include "mesh/adjacency.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dm {
+
+AdjacencyMesh::AdjacencyMesh(const TriangleMesh& mesh)
+    : positions_(mesh.vertices()),
+      adj_(mesh.vertices().size()),
+      alive_(mesh.vertices().size(), true),
+      num_alive_(static_cast<int64_t>(mesh.vertices().size())) {
+  for (const Triangle& t : mesh.triangles()) {
+    AddEdge(t[0], t[1]);
+    AddEdge(t[1], t[2]);
+    AddEdge(t[2], t[0]);
+  }
+}
+
+AdjacencyMesh::AdjacencyMesh(std::vector<Point3> positions)
+    : positions_(std::move(positions)),
+      adj_(positions_.size()),
+      alive_(positions_.size(), true),
+      num_alive_(static_cast<int64_t>(positions_.size())) {}
+
+bool AdjacencyMesh::HasEdge(VertexId u, VertexId v) const {
+  const auto& n = adj_[static_cast<size_t>(u)];
+  return std::binary_search(n.begin(), n.end(), v);
+}
+
+std::vector<VertexId> AdjacencyMesh::CommonNeighbors(VertexId u,
+                                                     VertexId v) const {
+  const auto& a = adj_[static_cast<size_t>(u)];
+  const auto& b = adj_[static_cast<size_t>(v)];
+  std::vector<VertexId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+bool AdjacencyMesh::CanCollapse(VertexId u, VertexId v) const {
+  if (!IsAlive(u) || !IsAlive(v) || u == v) return false;
+  if (!HasEdge(u, v)) return false;
+  return CommonNeighbors(u, v).size() <= 2;
+}
+
+void AdjacencyMesh::AddEdge(VertexId u, VertexId v) {
+  if (u == v || HasEdge(u, v)) return;
+  AddEdgeInternal(u, v);
+}
+
+void AdjacencyMesh::AddEdgeInternal(VertexId u, VertexId v) {
+  auto& a = adj_[static_cast<size_t>(u)];
+  a.insert(std::upper_bound(a.begin(), a.end(), v), v);
+  auto& b = adj_[static_cast<size_t>(v)];
+  b.insert(std::upper_bound(b.begin(), b.end(), u), u);
+  ++num_edges_;
+}
+
+void AdjacencyMesh::RemoveEdgeInternal(VertexId u, VertexId v) {
+  auto& a = adj_[static_cast<size_t>(u)];
+  auto it = std::lower_bound(a.begin(), a.end(), v);
+  assert(it != a.end() && *it == v);
+  a.erase(it);
+  auto& b = adj_[static_cast<size_t>(v)];
+  auto jt = std::lower_bound(b.begin(), b.end(), u);
+  assert(jt != b.end() && *jt == u);
+  b.erase(jt);
+  --num_edges_;
+}
+
+VertexId AdjacencyMesh::AddVertex(const Point3& pos) {
+  positions_.push_back(pos);
+  adj_.emplace_back();
+  alive_.push_back(true);
+  ++num_alive_;
+  return static_cast<VertexId>(positions_.size() - 1);
+}
+
+CollapseRecord AdjacencyMesh::ContractUnchecked(VertexId u, VertexId v,
+                                                const Point3& parent_pos) {
+  assert(IsAlive(u) && IsAlive(v) && u != v);
+  return CollapseImpl(u, v, parent_pos);
+}
+
+CollapseRecord AdjacencyMesh::Collapse(VertexId u, VertexId v,
+                                       const Point3& parent_pos) {
+  assert(CanCollapse(u, v));
+  return CollapseImpl(u, v, parent_pos);
+}
+
+CollapseRecord AdjacencyMesh::CollapseImpl(VertexId u, VertexId v,
+                                           const Point3& parent_pos) {
+  CollapseRecord rec;
+  rec.child1 = u;
+  rec.child2 = v;
+  const std::vector<VertexId> wings = CommonNeighbors(u, v);
+  if (!wings.empty()) rec.wing1 = wings[0];
+  if (wings.size() > 1) rec.wing2 = wings[1];
+
+  // Gather the union neighbourhood before mutating.
+  std::vector<VertexId> nbrs;
+  {
+    const auto& a = adj_[static_cast<size_t>(u)];
+    const auto& b = adj_[static_cast<size_t>(v)];
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                   std::back_inserter(nbrs));
+    nbrs.erase(std::remove_if(nbrs.begin(), nbrs.end(),
+                              [&](VertexId n) { return n == u || n == v; }),
+               nbrs.end());
+  }
+
+  // Detach the children.
+  for (VertexId n : std::vector<VertexId>(adj_[static_cast<size_t>(u)])) {
+    RemoveEdgeInternal(u, n);
+  }
+  for (VertexId n : std::vector<VertexId>(adj_[static_cast<size_t>(v)])) {
+    RemoveEdgeInternal(v, n);
+  }
+  alive_[static_cast<size_t>(u)] = false;
+  alive_[static_cast<size_t>(v)] = false;
+  num_alive_ -= 2;
+
+  // Attach the parent.
+  const VertexId p = AddVertex(parent_pos);
+  for (VertexId n : nbrs) AddEdgeInternal(p, n);
+  rec.parent = p;
+  return rec;
+}
+
+std::vector<VertexId> AdjacencyMesh::AliveVertices() const {
+  std::vector<VertexId> out;
+  out.reserve(static_cast<size_t>(num_alive_));
+  for (size_t i = 0; i < alive_.size(); ++i) {
+    if (alive_[i]) out.push_back(static_cast<VertexId>(i));
+  }
+  return out;
+}
+
+}  // namespace dm

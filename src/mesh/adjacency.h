@@ -1,0 +1,101 @@
+#ifndef DIRECTMESH_MESH_ADJACENCY_H_
+#define DIRECTMESH_MESH_ADJACENCY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "mesh/triangle_mesh.h"
+
+namespace dm {
+
+/// Result of collapsing an edge (u, v) into a new parent vertex.
+struct CollapseRecord {
+  VertexId parent = kInvalidVertex;
+  VertexId child1 = kInvalidVertex;
+  VertexId child2 = kInvalidVertex;
+  /// Vertices adjacent to both children at collapse time (the PM
+  /// "wing" vertices); kInvalidVertex when absent (boundary edges have
+  /// one wing, the final edge of the mesh has none).
+  VertexId wing1 = kInvalidVertex;
+  VertexId wing2 = kInvalidVertex;
+};
+
+/// Editable terrain mesh keyed by vertex adjacency.
+///
+/// Terrain meshes are planar triangulations of a height field, so the
+/// full mesh is recoverable from the adjacency graph alone (faces are
+/// the empty 3-cycles); this lets edge collapses run without
+/// maintaining face lists. New vertices created by collapses get fresh
+/// ids above the original vertex range, matching the paper's PM
+/// construction where "the parent node is a newly generated data
+/// point".
+class AdjacencyMesh {
+ public:
+  /// Builds the adjacency graph of an indexed mesh. All vertices start
+  /// alive.
+  explicit AdjacencyMesh(const TriangleMesh& mesh);
+
+  /// Builds an empty mesh with `n` isolated alive vertices at the given
+  /// positions (used by tests).
+  explicit AdjacencyMesh(std::vector<Point3> positions);
+
+  int64_t num_vertices_total() const {
+    return static_cast<int64_t>(positions_.size());
+  }
+  int64_t num_alive() const { return num_alive_; }
+  int64_t num_edges() const { return num_edges_; }
+
+  bool IsAlive(VertexId v) const { return alive_[static_cast<size_t>(v)]; }
+  const Point3& position(VertexId v) const {
+    return positions_[static_cast<size_t>(v)];
+  }
+  const std::vector<VertexId>& neighbors(VertexId v) const {
+    return adj_[static_cast<size_t>(v)];
+  }
+
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Vertices adjacent to both u and v, in increasing id order.
+  std::vector<VertexId> CommonNeighbors(VertexId u, VertexId v) const;
+
+  /// True if collapsing edge (u, v) keeps the triangulation manifold:
+  /// the edge exists and u, v share at most two neighbours (the link
+  /// condition for planar triangulations).
+  bool CanCollapse(VertexId u, VertexId v) const;
+
+  /// Adds an explicit edge (used by tests and the reconstructor).
+  void AddEdge(VertexId u, VertexId v);
+
+  /// Collapses edge (u, v) into a new vertex at `parent_pos`.
+  /// Requires CanCollapse(u, v). The new vertex inherits the union of
+  /// the children's neighbourhoods.
+  CollapseRecord Collapse(VertexId u, VertexId v, const Point3& parent_pos);
+
+  /// Contracts u and v into a new vertex without requiring the edge or
+  /// the link condition (graph contraction). Used when replaying a
+  /// recorded collapse sequence in a different order, where the link
+  /// condition that held during recording need not hold locally.
+  CollapseRecord ContractUnchecked(VertexId u, VertexId v,
+                                   const Point3& parent_pos);
+
+  /// All alive vertex ids, increasing.
+  std::vector<VertexId> AliveVertices() const;
+
+ private:
+  CollapseRecord CollapseImpl(VertexId u, VertexId v,
+                              const Point3& parent_pos);
+  VertexId AddVertex(const Point3& pos);
+  void RemoveEdgeInternal(VertexId u, VertexId v);
+  void AddEdgeInternal(VertexId u, VertexId v);
+
+  std::vector<Point3> positions_;
+  std::vector<std::vector<VertexId>> adj_;  // sorted neighbour lists
+  std::vector<bool> alive_;
+  int64_t num_alive_ = 0;
+  int64_t num_edges_ = 0;
+};
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_MESH_ADJACENCY_H_

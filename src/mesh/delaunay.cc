@@ -1,0 +1,141 @@
+#include "mesh/delaunay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace dm {
+
+namespace {
+
+double Orient2d(const Point3& a, const Point3& b, const Point3& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+}  // namespace
+
+bool InCircumcircle(const Point3& a, const Point3& b, const Point3& c,
+                    const Point3& p) {
+  // Standard 3x3 incircle determinant, translated to p for stability.
+  const double ax = a.x - p.x;
+  const double ay = a.y - p.y;
+  const double bx = b.x - p.x;
+  const double by = b.y - p.y;
+  const double cx = c.x - p.x;
+  const double cy = c.y - p.y;
+  const double det =
+      (ax * ax + ay * ay) * (bx * cy - cx * by) -
+      (bx * bx + by * by) * (ax * cy - cx * ay) +
+      (cx * cx + cy * cy) * (ax * by - bx * ay);
+  return det > 0.0;
+}
+
+Result<TriangleMesh> DelaunayTriangulate(std::vector<Point3> points) {
+  const int64_t n = static_cast<int64_t>(points.size());
+  if (n < 3) {
+    return Status::InvalidArgument("need at least 3 points");
+  }
+  {
+    // Terrain samples must have unique footprints.
+    std::set<std::pair<double, double>> seen;
+    for (const Point3& p : points) {
+      if (!seen.emplace(p.x, p.y).second) {
+        return Status::InvalidArgument("duplicate footprint in input");
+      }
+    }
+  }
+
+  // Super-triangle enclosing everything by a wide margin.
+  Rect bounds;
+  for (const Point3& p : points) bounds.ExpandToInclude(p.x, p.y);
+  const double cx = (bounds.lo_x + bounds.hi_x) / 2;
+  const double cy = (bounds.lo_y + bounds.hi_y) / 2;
+  const double span =
+      std::max({bounds.width(), bounds.height(), 1.0}) * 64.0;
+  points.push_back(Point3{cx - span, cy - span, 0});      // id n
+  points.push_back(Point3{cx + span, cy - span, 0});      // id n + 1
+  points.push_back(Point3{cx, cy + span, 0});             // id n + 2
+
+  struct Tri {
+    VertexId a, b, c;  // CCW
+    bool alive = true;
+  };
+  std::vector<Tri> tris;
+  tris.push_back(Tri{n, n + 1, n + 2});
+
+  // Insert points one at a time: collect the cavity (triangles whose
+  // circumcircle contains the point), remove it, and re-triangulate
+  // against its boundary edges.
+  std::vector<size_t> cavity;
+  std::map<std::pair<VertexId, VertexId>, int> edge_use;
+  for (VertexId pid = 0; pid < n; ++pid) {
+    const Point3& p = points[static_cast<size_t>(pid)];
+    cavity.clear();
+    for (size_t t = 0; t < tris.size(); ++t) {
+      if (!tris[t].alive) continue;
+      const Tri& tri = tris[t];
+      if (InCircumcircle(points[static_cast<size_t>(tri.a)],
+                         points[static_cast<size_t>(tri.b)],
+                         points[static_cast<size_t>(tri.c)], p)) {
+        cavity.push_back(t);
+      }
+    }
+    if (cavity.empty()) {
+      // Degenerate numeric corner (collinear inputs): reject rather
+      // than build a broken mesh.
+      return Status::Internal("point fell outside every circumcircle");
+    }
+    // Boundary of the cavity: edges used by exactly one cavity
+    // triangle.
+    edge_use.clear();
+    for (size_t t : cavity) {
+      const Tri& tri = tris[t];
+      const std::pair<VertexId, VertexId> edges[3] = {
+          {tri.a, tri.b}, {tri.b, tri.c}, {tri.c, tri.a}};
+      for (auto [u, v] : edges) {
+        auto key = u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+        ++edge_use[key];
+      }
+      tris[t].alive = false;
+    }
+    for (size_t t : cavity) {
+      const Tri tri = tris[t];
+      const std::pair<VertexId, VertexId> edges[3] = {
+          {tri.a, tri.b}, {tri.b, tri.c}, {tri.c, tri.a}};
+      for (auto [u, v] : edges) {
+        auto key = u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+        if (edge_use[key] != 1) continue;  // interior to the cavity
+        // New triangle (u, v, p), oriented CCW.
+        Tri fresh{u, v, pid};
+        if (Orient2d(points[static_cast<size_t>(u)],
+                     points[static_cast<size_t>(v)], p) < 0) {
+          std::swap(fresh.a, fresh.b);
+        }
+        tris.push_back(fresh);
+      }
+    }
+    // Periodic compaction keeps the scan roughly proportional to the
+    // live triangle count.
+    if (tris.size() > 64 && tris.size() > 4 * (static_cast<size_t>(pid) + 4) * 2) {
+      std::vector<Tri> live;
+      live.reserve(tris.size());
+      for (const Tri& t : tris) {
+        if (t.alive) live.push_back(t);
+      }
+      tris = std::move(live);
+    }
+  }
+
+  // Drop triangles touching the super-triangle.
+  std::vector<Triangle> out;
+  for (const Tri& t : tris) {
+    if (!t.alive) continue;
+    if (t.a >= n || t.b >= n || t.c >= n) continue;
+    out.push_back(Triangle{{t.a, t.b, t.c}});
+  }
+  points.resize(static_cast<size_t>(n));
+  return TriangleMesh(std::move(points), std::move(out));
+}
+
+}  // namespace dm

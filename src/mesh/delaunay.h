@@ -1,0 +1,31 @@
+#ifndef DIRECTMESH_MESH_DELAUNAY_H_
+#define DIRECTMESH_MESH_DELAUNAY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "mesh/triangle_mesh.h"
+
+namespace dm {
+
+/// Delaunay triangulation of scattered terrain points (Bowyer-Watson
+/// with a super-triangle). The paper's surfaces are "a regular or
+/// irregular mesh of millions of 3D points"; this is the irregular
+/// (TIN) entry point of the pipeline — the output feeds SimplifyMesh /
+/// PmTree::Build / DmStore::Build exactly like a gridded DEM.
+///
+/// Points are triangulated by their (x, y) footprint; z is carried
+/// through. Duplicated footprints are rejected (a terrain sample set
+/// has one elevation per location). Runtime is O(n^2) worst case and
+/// ~O(n^1.5) on shuffled realistic inputs — intended for datasets up
+/// to a few hundred thousand points.
+Result<TriangleMesh> DelaunayTriangulate(std::vector<Point3> points);
+
+/// True if `p` lies strictly inside the circumcircle of (a, b, c)
+/// (counter-clockwise). Exposed for tests.
+bool InCircumcircle(const Point3& a, const Point3& b, const Point3& c,
+                    const Point3& p);
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_MESH_DELAUNAY_H_

@@ -1,0 +1,47 @@
+#include "mesh/extract.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dm {
+
+std::vector<Triangle> ExtractTriangles(const std::vector<VertexId>& vertices,
+                                       const GraphView& graph) {
+  std::vector<Triangle> out;
+  std::vector<VertexId> ring;
+  for (VertexId u : vertices) {
+    const auto& nbrs = graph.neighbors(u);
+    if (nbrs.size() < 2) continue;
+    const Point3 pu = graph.position(u);
+    ring.assign(nbrs.begin(), nbrs.end());
+    std::sort(ring.begin(), ring.end(), [&](VertexId a, VertexId b) {
+      const Point3 pa = graph.position(a);
+      const Point3 pb = graph.position(b);
+      return std::atan2(pa.y - pu.y, pa.x - pu.x) <
+             std::atan2(pb.y - pu.y, pb.x - pu.x);
+    });
+    // A face (u, a, b) requires a and b to be angularly consecutive
+    // around u (otherwise some neighbour lies inside the wedge and the
+    // 3-cycle is not empty), mutually adjacent, and CCW (the
+    // wrap-around pair of a boundary fan spans the reflex wedge and is
+    // CW, which drops it). Each face is emitted once, from its
+    // minimum-id corner.
+    const size_t k = ring.size();
+    for (size_t i = 0; i < k; ++i) {
+      const VertexId a = ring[i];
+      const VertexId b = ring[(i + 1) % k];
+      if (a == b || a < u || b < u) continue;
+      const auto& na = graph.neighbors(a);
+      if (!std::binary_search(na.begin(), na.end(), b)) continue;
+      const Point3 pa = graph.position(a);
+      const Point3 pb = graph.position(b);
+      const double cross = (pa.x - pu.x) * (pb.y - pu.y) -
+                           (pa.y - pu.y) * (pb.x - pu.x);
+      if (cross <= 0) continue;
+      out.push_back(Triangle{{u, a, b}});
+    }
+  }
+  return out;
+}
+
+}  // namespace dm

@@ -1,0 +1,33 @@
+#ifndef DIRECTMESH_MESH_EXTRACT_H_
+#define DIRECTMESH_MESH_EXTRACT_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/geometry.h"
+#include "mesh/triangle_mesh.h"
+
+namespace dm {
+
+/// Callbacks describing an adjacency graph over terrain points. The
+/// reconstructor and tests use this to extract triangles from graphs
+/// held in different containers without copying.
+struct GraphView {
+  std::function<Point3(VertexId)> position;
+  std::function<const std::vector<VertexId>&(VertexId)> neighbors;
+};
+
+/// Extracts the triangles of a planar terrain adjacency graph.
+///
+/// A triangle is emitted for each empty 3-cycle: for every vertex u and
+/// every pair of angularly consecutive neighbours (a, b) around u that
+/// are themselves adjacent. Each face is reported once (from its
+/// minimum-id vertex), oriented CCW in the (x, y) projection.
+/// `vertices` must list every vertex of the graph; neighbour lists must
+/// be sorted by id and symmetric.
+std::vector<Triangle> ExtractTriangles(const std::vector<VertexId>& vertices,
+                                       const GraphView& graph);
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_MESH_EXTRACT_H_

@@ -1,0 +1,48 @@
+#include "mesh/obj_io.h"
+
+#include <cstdio>
+#include <unordered_map>
+
+namespace dm {
+
+Status WriteObj(const std::vector<VertexId>& vertex_ids,
+                const std::vector<Point3>& positions,
+                const std::vector<Triangle>& triangles,
+                const std::string& path) {
+  if (vertex_ids.size() != positions.size()) {
+    return Status::InvalidArgument("vertex_ids/positions size mismatch");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+
+  std::unordered_map<VertexId, int64_t> index;  // id -> 1-based OBJ index
+  index.reserve(vertex_ids.size());
+  for (size_t i = 0; i < vertex_ids.size(); ++i) {
+    index[vertex_ids[i]] = static_cast<int64_t>(i) + 1;
+    const Point3& p = positions[i];
+    std::fprintf(f, "v %.6f %.6f %.6f\n", p.x, p.y, p.z);
+  }
+  for (const Triangle& t : triangles) {
+    auto a = index.find(t[0]);
+    auto b = index.find(t[1]);
+    auto c = index.find(t[2]);
+    if (a == index.end() || b == index.end() || c == index.end()) {
+      std::fclose(f);
+      return Status::InvalidArgument("triangle references unknown vertex");
+    }
+    std::fprintf(f, "f %lld %lld %lld\n",
+                 static_cast<long long>(a->second),
+                 static_cast<long long>(b->second),
+                 static_cast<long long>(c->second));
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Status WriteObj(const TriangleMesh& mesh, const std::string& path) {
+  std::vector<VertexId> ids(static_cast<size_t>(mesh.num_vertices()));
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<VertexId>(i);
+  return WriteObj(ids, mesh.vertices(), mesh.triangles(), path);
+}
+
+}  // namespace dm

@@ -1,0 +1,26 @@
+#ifndef DIRECTMESH_MESH_OBJ_IO_H_
+#define DIRECTMESH_MESH_OBJ_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mesh/triangle_mesh.h"
+
+namespace dm {
+
+/// Writes a Wavefront OBJ file for a mesh given by explicit vertex
+/// positions and triangles indexing into `vertex_ids` (arbitrary,
+/// possibly sparse ids). Positions are looked up via the parallel
+/// arrays: `vertex_ids[i]` is at `positions[i]`.
+Status WriteObj(const std::vector<VertexId>& vertex_ids,
+                const std::vector<Point3>& positions,
+                const std::vector<Triangle>& triangles,
+                const std::string& path);
+
+/// Convenience overload for a TriangleMesh (dense ids).
+Status WriteObj(const TriangleMesh& mesh, const std::string& path);
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_MESH_OBJ_IO_H_

@@ -1,0 +1,136 @@
+#include "mesh/render.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <unordered_map>
+
+namespace dm {
+
+Status RenderHillshade(const std::vector<VertexId>& vertex_ids,
+                       const std::vector<Point3>& positions,
+                       const std::vector<Triangle>& triangles,
+                       const std::string& path,
+                       const RenderOptions& options) {
+  if (vertex_ids.size() != positions.size()) {
+    return Status::InvalidArgument("vertex_ids/positions size mismatch");
+  }
+  if (options.width <= 0 || options.height <= 0) {
+    return Status::InvalidArgument("non-positive image size");
+  }
+  std::unordered_map<VertexId, const Point3*> pos;
+  pos.reserve(vertex_ids.size());
+  for (size_t i = 0; i < vertex_ids.size(); ++i) {
+    pos[vertex_ids[i]] = &positions[i];
+  }
+
+  Rect bounds;
+  double z_lo = std::numeric_limits<double>::infinity();
+  double z_hi = -z_lo;
+  for (const Point3& p : positions) {
+    bounds.ExpandToInclude(p.x, p.y);
+    z_lo = std::min(z_lo, p.z);
+    z_hi = std::max(z_hi, p.z);
+  }
+  if (bounds.empty()) return Status::InvalidArgument("empty mesh");
+  const double wx = std::max(bounds.width(), 1e-12);
+  const double wy = std::max(bounds.height(), 1e-12);
+  const double zspan = std::max(z_hi - z_lo, 1e-12);
+
+  const int W = options.width;
+  const int H = options.height;
+  std::vector<double> zbuf(static_cast<size_t>(W) * H,
+                           -std::numeric_limits<double>::infinity());
+  std::vector<uint8_t> rgb(static_cast<size_t>(W) * H * 3, 0);
+
+  Point3 light = options.light;
+  const double ln = Norm(light);
+  if (ln < 1e-12) return Status::InvalidArgument("degenerate light");
+  light = light * (1.0 / ln);
+
+  auto to_px = [&](const Point3& p, double* x, double* y) {
+    *x = (p.x - bounds.lo_x) / wx * (W - 1);
+    // Image rows run top-down; terrain y runs up.
+    *y = (1.0 - (p.y - bounds.lo_y) / wy) * (H - 1);
+  };
+
+  for (const Triangle& t : triangles) {
+    auto a_it = pos.find(t[0]);
+    auto b_it = pos.find(t[1]);
+    auto c_it = pos.find(t[2]);
+    if (a_it == pos.end() || b_it == pos.end() || c_it == pos.end()) {
+      return Status::InvalidArgument("triangle references unknown vertex");
+    }
+    Point3 a = *a_it->second;
+    Point3 b = *b_it->second;
+    Point3 c = *c_it->second;
+    a.z *= options.z_scale;
+    b.z *= options.z_scale;
+    c.z *= options.z_scale;
+
+    Point3 n = Cross(b - a, c - a);
+    const double nn = Norm(n);
+    if (nn < 1e-12) continue;
+    n = n * (1.0 / nn);
+    if (n.z < 0) n = n * -1.0;  // height field: normals point up
+    // Lambert term over a small ambient floor, so shadowed slopes stay
+    // readable instead of going black.
+    const double shade =
+        0.15 + 0.85 * std::clamp(Dot(n, light), 0.0, 1.0);
+    // Elevation tint from the triangle centroid.
+    const double tz = ((a.z + b.z + c.z) / 3.0 / options.z_scale - z_lo) /
+                      zspan;
+
+    double ax, ay, bx, by, cx, cy;
+    to_px(a, &ax, &ay);
+    to_px(b, &bx, &by);
+    to_px(c, &cx, &cy);
+    const int x0 = std::max(0, static_cast<int>(
+                                   std::floor(std::min({ax, bx, cx}))));
+    const int x1 = std::min(W - 1, static_cast<int>(
+                                       std::ceil(std::max({ax, bx, cx}))));
+    const int y0 = std::max(0, static_cast<int>(
+                                   std::floor(std::min({ay, by, cy}))));
+    const int y1 = std::min(H - 1, static_cast<int>(
+                                       std::ceil(std::max({ay, by, cy}))));
+    const double den = (by - ay) * (cx - ax) - (bx - ax) * (cy - ay);
+    if (std::fabs(den) < 1e-12) continue;
+    for (int py = y0; py <= y1; ++py) {
+      for (int px = x0; px <= x1; ++px) {
+        // Barycentric coordinates of the pixel center.
+        const double l1 = ((py - ay) * (cx - ax) - (px - ax) * (cy - ay)) /
+                          den;
+        const double l2 = ((px - ax) * (by - ay) - (py - ay) * (bx - ax)) /
+                          den;
+        const double l0 = 1.0 - l1 - l2;
+        if (l0 < -1e-9 || l1 < -1e-9 || l2 < -1e-9) continue;
+        const double z = l0 * a.z + l1 * b.z + l2 * c.z;
+        const size_t idx = static_cast<size_t>(py) * W + px;
+        if (z <= zbuf[idx]) continue;
+        zbuf[idx] = z;
+        // Hypsometric-ish tint: green lowlands to white peaks,
+        // modulated by the hillshade.
+        const double r = 0.45 + 0.55 * tz;
+        const double g = 0.65 + 0.25 * tz;
+        const double bch = 0.40 + 0.60 * tz;
+        rgb[idx * 3 + 0] =
+            static_cast<uint8_t>(std::clamp(r * shade, 0.0, 1.0) * 255);
+        rgb[idx * 3 + 1] =
+            static_cast<uint8_t>(std::clamp(g * shade, 0.0, 1.0) * 255);
+        rgb[idx * 3 + 2] =
+            static_cast<uint8_t>(std::clamp(bch * shade, 0.0, 1.0) * 255);
+      }
+    }
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::fprintf(f, "P6\n%d %d\n255\n", W, H);
+  const bool ok = std::fwrite(rgb.data(), 1, rgb.size(), f) == rgb.size();
+  std::fclose(f);
+  if (!ok) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace dm

@@ -1,0 +1,37 @@
+#ifndef DIRECTMESH_MESH_RENDER_H_
+#define DIRECTMESH_MESH_RENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mesh/triangle_mesh.h"
+
+namespace dm {
+
+/// Options of the software hillshade renderer.
+struct RenderOptions {
+  int width = 512;
+  int height = 512;
+  /// Light direction (will be normalized); default NW, 45 degrees up.
+  Point3 light{-1.0, 1.0, 1.4};
+  /// Vertical exaggeration applied before shading.
+  double z_scale = 1.0;
+};
+
+/// Rasterizes a terrain triangulation to a shaded-relief image and
+/// writes it as a binary PPM (P6). The mesh is given by parallel
+/// `vertex_ids`/`positions` plus triangles indexing `vertex_ids` — the
+/// same calling convention as WriteObj, so query results plug straight
+/// in. Triangles are scan-converted with a z-buffer (top view), flat
+/// shaded by their facet normal against `light`, and tinted by
+/// elevation so LOD differences are visible in the output.
+Status RenderHillshade(const std::vector<VertexId>& vertex_ids,
+                       const std::vector<Point3>& positions,
+                       const std::vector<Triangle>& triangles,
+                       const std::string& path,
+                       const RenderOptions& options = {});
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_MESH_RENDER_H_

@@ -1,0 +1,53 @@
+#include "mesh/triangle_mesh.h"
+
+#include <cmath>
+
+namespace dm {
+
+Rect TriangleMesh::Bounds() const {
+  Rect r;
+  for (const auto& p : vertices_) r.ExpandToInclude(p.x, p.y);
+  return r;
+}
+
+TriangleMesh TriangulateDem(const DemGrid& grid) {
+  const int w = grid.width();
+  const int h = grid.height();
+  std::vector<Point3> vertices;
+  vertices.reserve(static_cast<size_t>(w) * h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      vertices.push_back(grid.PointAt(x, y));
+    }
+  }
+
+  std::vector<Triangle> tris;
+  tris.reserve(static_cast<size_t>(w - 1) * (h - 1) * 2);
+  auto id = [w](int x, int y) {
+    return static_cast<VertexId>(y) * w + x;
+  };
+  for (int y = 0; y + 1 < h; ++y) {
+    for (int x = 0; x + 1 < w; ++x) {
+      const VertexId a = id(x, y);
+      const VertexId b = id(x + 1, y);
+      const VertexId c = id(x + 1, y + 1);
+      const VertexId d = id(x, y + 1);
+      const double diag_ac =
+          std::fabs(grid.at(x, y) - grid.at(x + 1, y + 1));
+      const double diag_bd =
+          std::fabs(grid.at(x + 1, y) - grid.at(x, y + 1));
+      if (diag_ac <= diag_bd) {
+        // Split along a-c. CCW in (x, y): a,b,c and a,c,d.
+        tris.push_back(Triangle{{a, b, c}});
+        tris.push_back(Triangle{{a, c, d}});
+      } else {
+        // Split along b-d.
+        tris.push_back(Triangle{{a, b, d}});
+        tris.push_back(Triangle{{b, c, d}});
+      }
+    }
+  }
+  return TriangleMesh(std::move(vertices), std::move(tris));
+}
+
+}  // namespace dm

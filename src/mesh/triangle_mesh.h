@@ -1,0 +1,59 @@
+#ifndef DIRECTMESH_MESH_TRIANGLE_MESH_H_
+#define DIRECTMESH_MESH_TRIANGLE_MESH_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "dem/dem_grid.h"
+
+namespace dm {
+
+/// A triangle: three vertex indices, counter-clockwise in the (x, y)
+/// projection (terrain meshes are height fields, so the projection is
+/// injective and orientation is well defined).
+struct Triangle {
+  std::array<VertexId, 3> v;
+
+  VertexId operator[](int i) const { return v[i]; }
+};
+
+/// An indexed triangle mesh over terrain points. Immutable container;
+/// the editable structure used during simplification is AdjacencyMesh.
+class TriangleMesh {
+ public:
+  TriangleMesh() = default;
+  TriangleMesh(std::vector<Point3> vertices, std::vector<Triangle> triangles)
+      : vertices_(std::move(vertices)), triangles_(std::move(triangles)) {}
+
+  int64_t num_vertices() const {
+    return static_cast<int64_t>(vertices_.size());
+  }
+  int64_t num_triangles() const {
+    return static_cast<int64_t>(triangles_.size());
+  }
+
+  const Point3& vertex(VertexId id) const {
+    return vertices_[static_cast<size_t>(id)];
+  }
+  const std::vector<Point3>& vertices() const { return vertices_; }
+  const std::vector<Triangle>& triangles() const { return triangles_; }
+
+  /// Footprint bounding rectangle.
+  Rect Bounds() const;
+
+ private:
+  std::vector<Point3> vertices_;
+  std::vector<Triangle> triangles_;
+};
+
+/// Triangulates a regular DEM grid: each cell is split along the
+/// diagonal whose endpoints are closer in elevation (reduces slivers on
+/// ridge lines). Vertex k corresponds to grid sample
+/// (k % width, k / width).
+TriangleMesh TriangulateDem(const DemGrid& grid);
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_MESH_TRIANGLE_MESH_H_

@@ -1,0 +1,76 @@
+#include "mesh/validate.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+
+namespace dm {
+
+std::string MeshStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "V=%lld T=%lld E=%lld boundary=%lld nonmanifold=%lld "
+                "dup=%lld degen=%lld chi=%lld",
+                static_cast<long long>(num_vertices),
+                static_cast<long long>(num_triangles),
+                static_cast<long long>(num_edges),
+                static_cast<long long>(boundary_edges),
+                static_cast<long long>(nonmanifold_edges),
+                static_cast<long long>(duplicate_triangles),
+                static_cast<long long>(degenerate_triangles),
+                static_cast<long long>(euler_characteristic));
+  return buf;
+}
+
+MeshStats ComputeMeshStats(const std::vector<VertexId>& vertex_ids,
+                           const std::vector<Point3>& positions,
+                           const std::vector<Triangle>& triangles) {
+  MeshStats stats;
+  stats.num_vertices = static_cast<int64_t>(vertex_ids.size());
+  stats.num_triangles = static_cast<int64_t>(triangles.size());
+
+  std::unordered_map<VertexId, const Point3*> pos;
+  pos.reserve(vertex_ids.size());
+  for (size_t i = 0; i < vertex_ids.size(); ++i) {
+    pos[vertex_ids[i]] = &positions[i];
+  }
+
+  std::map<std::pair<VertexId, VertexId>, int> edge_count;
+  std::map<std::array<VertexId, 3>, int> tri_count;
+  for (const Triangle& t : triangles) {
+    std::array<VertexId, 3> key = t.v;
+    std::sort(key.begin(), key.end());
+    if (key[0] == key[1] || key[1] == key[2]) {
+      ++stats.degenerate_triangles;
+      continue;
+    }
+    if (++tri_count[key] > 1) ++stats.duplicate_triangles;
+    for (int i = 0; i < 3; ++i) {
+      VertexId a = t[i];
+      VertexId b = t[(i + 1) % 3];
+      if (a > b) std::swap(a, b);
+      ++edge_count[{a, b}];
+    }
+    // Footprint area check.
+    auto pa = pos.find(t[0]);
+    auto pb = pos.find(t[1]);
+    auto pc = pos.find(t[2]);
+    if (pa != pos.end() && pb != pos.end() && pc != pos.end()) {
+      const double cross =
+          (pb->second->x - pa->second->x) * (pc->second->y - pa->second->y) -
+          (pb->second->y - pa->second->y) * (pc->second->x - pa->second->x);
+      if (cross == 0.0) ++stats.degenerate_triangles;
+    }
+  }
+  stats.num_edges = static_cast<int64_t>(edge_count.size());
+  for (const auto& [edge, count] : edge_count) {
+    if (count == 1) ++stats.boundary_edges;
+    if (count > 2) ++stats.nonmanifold_edges;
+  }
+  stats.euler_characteristic =
+      stats.num_vertices - stats.num_edges + stats.num_triangles;
+  return stats;
+}
+
+}  // namespace dm

@@ -1,0 +1,46 @@
+#ifndef DIRECTMESH_MESH_VALIDATE_H_
+#define DIRECTMESH_MESH_VALIDATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mesh/triangle_mesh.h"
+
+namespace dm {
+
+/// Structural statistics of a triangle soup, used by tests to check
+/// that reconstructed approximations are valid terrain triangulations.
+struct MeshStats {
+  int64_t num_vertices = 0;
+  int64_t num_triangles = 0;
+  int64_t num_edges = 0;
+  /// Edges incident to exactly one triangle (boundary edges).
+  int64_t boundary_edges = 0;
+  /// Edges incident to more than two triangles (non-manifold; must be 0
+  /// for a valid terrain mesh).
+  int64_t nonmanifold_edges = 0;
+  /// Triangles listed more than once (must be 0).
+  int64_t duplicate_triangles = 0;
+  /// Triangles with zero footprint area or repeated vertices (must be 0).
+  int64_t degenerate_triangles = 0;
+  /// V - E + F counting triangles only; equals 1 for a triangulated
+  /// topological disk.
+  int64_t euler_characteristic = 0;
+
+  bool IsManifold() const {
+    return nonmanifold_edges == 0 && duplicate_triangles == 0 &&
+           degenerate_triangles == 0;
+  }
+  std::string ToString() const;
+};
+
+/// Computes MeshStats over explicit triangles; positions are looked up
+/// through the parallel `vertex_ids`/`positions` arrays.
+MeshStats ComputeMeshStats(const std::vector<VertexId>& vertex_ids,
+                           const std::vector<Point3>& positions,
+                           const std::vector<Triangle>& triangles);
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_MESH_VALIDATE_H_

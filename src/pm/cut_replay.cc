@@ -1,0 +1,87 @@
+#include "pm/cut_replay.h"
+
+#include <algorithm>
+#include <set>
+
+namespace dm {
+
+std::vector<std::pair<VertexId, VertexId>> QuotientCut::Edges() const {
+  std::vector<std::pair<VertexId, VertexId>> out;
+  for (const auto& [u, nbrs] : adjacency) {
+    for (VertexId v : nbrs) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<VertexId> CutAncestors(const PmTree& tree, int64_t num_leaves,
+                                   double e) {
+  // rep[v] caches the cut ancestor of node v (or the highest known hop
+  // toward it), giving near-linear total walk length via path
+  // compression across leaves that share ancestors.
+  std::vector<VertexId> rep(static_cast<size_t>(tree.num_nodes()),
+                            kInvalidVertex);
+  std::vector<VertexId> out(static_cast<size_t>(num_leaves));
+  std::vector<VertexId> path;
+  for (VertexId leaf = 0; leaf < num_leaves; ++leaf) {
+    VertexId v = leaf;
+    path.clear();
+    while (true) {
+      if (rep[static_cast<size_t>(v)] != kInvalidVertex) {
+        v = rep[static_cast<size_t>(v)];
+        break;
+      }
+      const PmNode& n = tree.node(v);
+      if (n.AliveAt(e)) break;
+      path.push_back(v);
+      v = n.parent;
+    }
+    for (VertexId p : path) rep[static_cast<size_t>(p)] = v;
+    out[static_cast<size_t>(leaf)] = v;
+  }
+  return out;
+}
+
+QuotientCut ComputeUniformCut(const TriangleMesh& base, const PmTree& tree,
+                              const Rect& r, double e) {
+  const int64_t num_leaves = base.num_vertices();
+  const std::vector<VertexId> anc = CutAncestors(tree, num_leaves, e);
+
+  // Collect cut vertices inside r.
+  std::set<VertexId> in_r;
+  for (VertexId leaf = 0; leaf < num_leaves; ++leaf) {
+    const VertexId a = anc[static_cast<size_t>(leaf)];
+    const PmNode& n = tree.node(a);
+    if (r.Contains(n.pos.x, n.pos.y)) in_r.insert(a);
+  }
+
+  // Project base edges through the ancestor mapping.
+  std::set<std::pair<VertexId, VertexId>> edges;
+  auto consider = [&](VertexId a, VertexId b) {
+    VertexId u = anc[static_cast<size_t>(a)];
+    VertexId v = anc[static_cast<size_t>(b)];
+    if (u == v) return;
+    if (!in_r.count(u) || !in_r.count(v)) return;
+    if (u > v) std::swap(u, v);
+    edges.emplace(u, v);
+  };
+  for (const Triangle& t : base.triangles()) {
+    consider(t[0], t[1]);
+    consider(t[1], t[2]);
+    consider(t[2], t[0]);
+  }
+
+  QuotientCut cut;
+  cut.vertices.assign(in_r.begin(), in_r.end());
+  for (VertexId v : cut.vertices) cut.adjacency[v];  // ensure presence
+  for (const auto& [u, v] : edges) {
+    cut.adjacency[u].push_back(v);
+    cut.adjacency[v].push_back(u);
+  }
+  for (auto& [v, nbrs] : cut.adjacency) std::sort(nbrs.begin(), nbrs.end());
+  return cut;
+}
+
+}  // namespace dm

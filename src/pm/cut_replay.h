@@ -1,0 +1,44 @@
+#ifndef DIRECTMESH_PM_CUT_REPLAY_H_
+#define DIRECTMESH_PM_CUT_REPLAY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/geometry.h"
+#include "mesh/triangle_mesh.h"
+#include "pm/pm_tree.h"
+
+namespace dm {
+
+/// Ground-truth terrain approximation at a uniform LOD: the quotient of
+/// the base mesh under the "leaf -> its cut ancestor" mapping.
+///
+/// Collapsing a set of PM subtrees is graph contraction, and the result
+/// of contracting a fixed set of tree edges does not depend on the
+/// order, so the approximation at LOD e is exactly the quotient graph
+/// of the base mesh where every original vertex maps to its unique
+/// ancestor with e_low <= e < e_high. Tests validate both the DM
+/// reconstruction and the PM baseline against this.
+struct QuotientCut {
+  /// Cut vertex ids whose point lies in the query rectangle, sorted.
+  std::vector<VertexId> vertices;
+  /// Sorted neighbour lists (edges restricted to `vertices`).
+  std::unordered_map<VertexId, std::vector<VertexId>> adjacency;
+
+  /// Undirected edge list (u < v), sorted.
+  std::vector<std::pair<VertexId, VertexId>> Edges() const;
+};
+
+/// Computes the quotient cut at uniform LOD `e` restricted to `r`.
+/// `base` must be the mesh the PM tree was built from.
+QuotientCut ComputeUniformCut(const TriangleMesh& base, const PmTree& tree,
+                              const Rect& r, double e);
+
+/// Maps every base vertex to its cut ancestor at LOD `e` (the unique
+/// ancestor with e_low <= e < e_high). Exposed for tests.
+std::vector<VertexId> CutAncestors(const PmTree& tree, int64_t num_leaves,
+                                   double e);
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_PM_CUT_REPLAY_H_

@@ -1,0 +1,136 @@
+#include "pm/pm_tree.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dm {
+
+Result<PmTree> PmTree::Build(const TriangleMesh& base,
+                             const SimplifyResult& sr) {
+  if (sr.roots.size() != 1) {
+    return Status::InvalidArgument(
+        "PM tree requires a fully collapsed mesh (single root), got " +
+        std::to_string(sr.roots.size()) + " roots");
+  }
+  PmTree tree;
+  const int64_t total = static_cast<int64_t>(sr.positions.size());
+  tree.nodes_.resize(static_cast<size_t>(total));
+  tree.num_leaves_ = base.num_vertices();
+  tree.root_ = sr.roots[0];
+
+  for (VertexId i = 0; i < total; ++i) {
+    PmNode& n = tree.nodes_[static_cast<size_t>(i)];
+    n.id = i;
+    n.pos = sr.positions[static_cast<size_t>(i)];
+  }
+  for (const CollapseStep& step : sr.steps) {
+    PmNode& p = tree.nodes_[static_cast<size_t>(step.record.parent)];
+    p.child1 = step.record.child1;
+    p.child2 = step.record.child2;
+    p.wing1 = step.record.wing1;
+    p.wing2 = step.record.wing2;
+    p.e_raw = step.error;
+    tree.nodes_[static_cast<size_t>(step.record.child1)].parent = p.id;
+    tree.nodes_[static_cast<size_t>(step.record.child2)].parent = p.id;
+  }
+
+  // LOD normalization (paper, Section 4): leaves get 0, internal nodes
+  // max(raw, child1.e, child2.e); intervals are [m.e, parent.e), root
+  // ehigh = +inf. Children always precede parents in id order (parents
+  // get fresh ids), so one forward pass suffices. Footprints
+  // accumulate the same way.
+  double lod_sum = 0.0;
+  int64_t internal = 0;
+  for (VertexId i = 0; i < total; ++i) {
+    PmNode& n = tree.nodes_[static_cast<size_t>(i)];
+    if (n.is_leaf()) {
+      n.e_low = 0.0;
+      n.footprint = Rect::Of(n.pos.x, n.pos.y, n.pos.x, n.pos.y);
+    } else {
+      const PmNode& c1 = tree.nodes_[static_cast<size_t>(n.child1)];
+      const PmNode& c2 = tree.nodes_[static_cast<size_t>(n.child2)];
+      n.e_low = std::max({n.e_raw, c1.e_low, c2.e_low});
+      n.footprint = c1.footprint;
+      n.footprint.ExpandToInclude(c2.footprint);
+      // Include the node's own point: the QEM-optimal parent position
+      // is not guaranteed to lie inside the children's MBR, and the
+      // footprint must cover everything a containment search below
+      // this node can return.
+      n.footprint.ExpandToInclude(n.pos.x, n.pos.y);
+      lod_sum += n.e_low;
+      ++internal;
+    }
+  }
+  tree.mean_lod_ = internal > 0 ? lod_sum / internal : 0.0;
+  tree.sorted_collapse_lods_.reserve(static_cast<size_t>(internal));
+  for (const PmNode& n : tree.nodes_) {
+    if (!n.is_leaf()) tree.sorted_collapse_lods_.push_back(n.e_low);
+  }
+  std::sort(tree.sorted_collapse_lods_.begin(),
+            tree.sorted_collapse_lods_.end());
+  for (VertexId i = 0; i < total; ++i) {
+    PmNode& n = tree.nodes_[static_cast<size_t>(i)];
+    n.e_high = n.is_root()
+                   ? std::numeric_limits<double>::infinity()
+                   : tree.nodes_[static_cast<size_t>(n.parent)].e_low;
+  }
+  return tree;
+}
+
+double PmTree::LodForCutSize(int64_t target) const {
+  target = std::clamp<int64_t>(target, 1, num_leaves_);
+  const int64_t collapses = num_leaves_ - target;
+  if (collapses <= 0 || sorted_collapse_lods_.empty()) return 0.0;
+  const size_t idx = std::min<size_t>(static_cast<size_t>(collapses),
+                                      sorted_collapse_lods_.size()) - 1;
+  return sorted_collapse_lods_[idx];
+}
+
+std::vector<VertexId> PmTree::SelectiveRefine(const Rect& r, double e) const {
+  std::vector<VertexId> out;
+  std::vector<VertexId> stack{root_};
+  while (!stack.empty()) {
+    const PmNode& n = nodes_[static_cast<size_t>(stack.back())];
+    stack.pop_back();
+    if (!n.footprint.Intersects(r)) continue;
+    if (n.AliveAt(e)) {
+      if (r.Contains(n.pos.x, n.pos.y)) out.push_back(n.id);
+      continue;
+    }
+    // Reaching here means e < e_low (a visited node always has
+    // e < e_high, because otherwise its parent would have been alive
+    // and stopped the descent) — including nodes with empty intervals
+    // [x, x), which are never alive themselves.
+    if (!n.is_leaf()) {
+      stack.push_back(n.child1);
+      stack.push_back(n.child2);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<VertexId> PmTree::SelectiveRefineView(
+    const Rect& r,
+    const std::function<double(const Point3&)>& required_e) const {
+  std::vector<VertexId> out;
+  std::vector<VertexId> stack{root_};
+  while (!stack.empty()) {
+    const PmNode& n = nodes_[static_cast<size_t>(stack.back())];
+    stack.pop_back();
+    if (!n.footprint.Intersects(r)) continue;
+    const double req = required_e(n.pos);
+    if (n.e_low <= req || n.is_leaf()) {
+      // First node on the path satisfying the local LOD demand, or a
+      // leaf (which cannot refine further even if the demand is unmet).
+      if (r.Contains(n.pos.x, n.pos.y)) out.push_back(n.id);
+      continue;
+    }
+    stack.push_back(n.child1);
+    stack.push_back(n.child2);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace dm

@@ -1,0 +1,112 @@
+#ifndef DIRECTMESH_PM_PM_TREE_H_
+#define DIRECTMESH_PM_PM_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "mesh/triangle_mesh.h"
+#include "simplify/simplifier.h"
+
+namespace dm {
+
+/// A node of the Progressive Mesh binary tree. Field-for-field the
+/// paper's record "(ID, x, y, z, e, parent, child1, child2, wing1,
+/// wing2)" plus the footprint MBR the paper requires of every internal
+/// node ("all internal nodes of the MTM tree must record ... its
+/// 'footprint' as a minimum bounding rectangle of its descendant
+/// points").
+///
+/// `e_low` is the normalized LOD value (the paper's m.e after
+/// normalization: 0 at leaves, max(raw, children) inside), and
+/// `e_high` the parent's value, so [e_low, e_high) is the node's LOD
+/// interval; the root's e_high is +infinity.
+struct PmNode {
+  VertexId id = kInvalidVertex;
+  Point3 pos;
+  double e_low = 0.0;
+  double e_high = 0.0;
+  double e_raw = 0.0;  // un-normalized approximation error
+  VertexId parent = kInvalidVertex;
+  VertexId child1 = kInvalidVertex;
+  VertexId child2 = kInvalidVertex;
+  VertexId wing1 = kInvalidVertex;
+  VertexId wing2 = kInvalidVertex;
+  Rect footprint;
+
+  bool is_leaf() const { return child1 == kInvalidVertex; }
+  bool is_root() const { return parent == kInvalidVertex; }
+  /// True when the node belongs to the uniform-LOD cut at `e`.
+  bool AliveAt(double e) const { return e_low <= e && e < e_high; }
+};
+
+/// The Progressive Mesh tree: an unbalanced binary tree whose leaves
+/// are the original terrain points and whose internal nodes are the
+/// parents created by QEM pair collapses. Serves as the in-memory
+/// ground truth that both the database-backed PM baseline and Direct
+/// Mesh are validated against.
+class PmTree {
+ public:
+  /// Builds the tree from a fully collapsed simplification run
+  /// (`sr.roots.size() == 1`). Leaves are mesh vertices 0..V-1;
+  /// parents keep the ids assigned during simplification.
+  static Result<PmTree> Build(const TriangleMesh& base,
+                              const SimplifyResult& sr);
+
+  int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
+  int64_t num_leaves() const { return num_leaves_; }
+  VertexId root() const { return root_; }
+  const PmNode& node(VertexId id) const {
+    return nodes_[static_cast<size_t>(id)];
+  }
+  const std::vector<PmNode>& nodes() const { return nodes_; }
+
+  /// Normalized LOD of the root (the dataset's maximum LOD value,
+  /// LODdataset_max in the paper's theta_max formula).
+  double max_lod() const { return nodes_[static_cast<size_t>(root_)].e_low; }
+  /// Mean normalized LOD over internal nodes ("the average LOD value
+  /// of the dataset" used to fix the LOD in the varying-ROI tests).
+  double mean_lod() const { return mean_lod_; }
+  /// Footprint of the whole terrain.
+  const Rect& bounds() const {
+    return nodes_[static_cast<size_t>(root_)].footprint;
+  }
+
+  /// The LOD value whose uniform cut has about `target` vertices
+  /// (|cut(e)| = leaves - #collapses with e_low <= e, inverted over
+  /// the sorted collapse LODs). Error values are wildly skewed, so
+  /// this is the sane way to pick query LODs.
+  double LodForCutSize(int64_t target) const;
+  /// Convenience: the LOD keeping `frac` of the original points.
+  double LodForCutFraction(double frac) const {
+    return LodForCutSize(
+        static_cast<int64_t>(frac * static_cast<double>(num_leaves_)));
+  }
+
+  /// Uniform-LOD selective refinement (the paper's Q(M, r, e) answered
+  /// in memory): descends from the root pruning by footprint, returns
+  /// ids of cut nodes whose point lies in `r`, sorted by id.
+  std::vector<VertexId> SelectiveRefine(const Rect& r, double e) const;
+
+  /// Viewpoint-dependent selective refinement: `required_e(pos)` gives
+  /// the LOD the query plane demands at a footprint position; a node is
+  /// output when it is the first on its root-to-leaf path with
+  /// e_low <= required_e(node.pos). Returns ids sorted by id.
+  std::vector<VertexId> SelectiveRefineView(
+      const Rect& r, const std::function<double(const Point3&)>& required_e)
+      const;
+
+ private:
+  std::vector<PmNode> nodes_;
+  VertexId root_ = kInvalidVertex;
+  int64_t num_leaves_ = 0;
+  double mean_lod_ = 0.0;
+  /// Sorted e_low of every internal node, for LodForCutSize.
+  std::vector<double> sorted_collapse_lods_;
+};
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_PM_PM_TREE_H_

@@ -1,0 +1,93 @@
+#include "simplify/quadric.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dm {
+
+void Quadric::AddTrianglePlane(const Point3& a, const Point3& b,
+                               const Point3& c) {
+  const Point3 n = Cross(b - a, c - a);
+  const double len = Norm(n);
+  if (len < 1e-12) return;  // degenerate triangle contributes nothing
+  const double area = 0.5 * len;
+  const double nx = n.x / len;
+  const double ny = n.y / len;
+  const double nz = n.z / len;
+  const double d = -(nx * a.x + ny * a.y + nz * a.z);
+  AddPlane(nx, ny, nz, d, area);
+}
+
+void Quadric::AddPlane(double a, double b, double c, double d, double w) {
+  q11_ += w * a * a;
+  q12_ += w * a * b;
+  q13_ += w * a * c;
+  q14_ += w * a * d;
+  q22_ += w * b * b;
+  q23_ += w * b * c;
+  q24_ += w * b * d;
+  q33_ += w * c * c;
+  q34_ += w * c * d;
+  q44_ += w * d * d;
+}
+
+double Quadric::Evaluate(const Point3& v) const {
+  const double x = v.x;
+  const double y = v.y;
+  const double z = v.z;
+  const double e = q11_ * x * x + 2 * q12_ * x * y + 2 * q13_ * x * z +
+                   2 * q14_ * x + q22_ * y * y + 2 * q23_ * y * z +
+                   2 * q24_ * y + q33_ * z * z + 2 * q34_ * z + q44_;
+  return std::max(e, 0.0);
+}
+
+Quadric& Quadric::operator+=(const Quadric& o) {
+  q11_ += o.q11_;
+  q12_ += o.q12_;
+  q13_ += o.q13_;
+  q14_ += o.q14_;
+  q22_ += o.q22_;
+  q23_ += o.q23_;
+  q24_ += o.q24_;
+  q33_ += o.q33_;
+  q34_ += o.q34_;
+  q44_ += o.q44_;
+  return *this;
+}
+
+Point3 Quadric::OptimalPoint(const Point3& a, const Point3& b) const {
+  // Solve [q11 q12 q13; q12 q22 q23; q13 q23 q33] v = -[q14; q24; q34]
+  // by Cramer's rule.
+  const double det = q11_ * (q22_ * q33_ - q23_ * q23_) -
+                     q12_ * (q12_ * q33_ - q23_ * q13_) +
+                     q13_ * (q12_ * q23_ - q22_ * q13_);
+  if (std::fabs(det) > 1e-9) {
+    const double rx = -q14_;
+    const double ry = -q24_;
+    const double rz = -q34_;
+    const double dx = rx * (q22_ * q33_ - q23_ * q23_) -
+                      q12_ * (ry * q33_ - q23_ * rz) +
+                      q13_ * (ry * q23_ - q22_ * rz);
+    const double dy = q11_ * (ry * q33_ - rz * q23_) -
+                      rx * (q12_ * q33_ - q23_ * q13_) +
+                      q13_ * (q12_ * rz - ry * q13_);
+    const double dz = q11_ * (q22_ * rz - ry * q23_) -
+                      q12_ * (q12_ * rz - ry * q13_) +
+                      rx * (q12_ * q23_ - q22_ * q13_);
+    Point3 v{dx / det, dy / det, dz / det};
+    // Guard against wildly extrapolated solutions in near-singular
+    // systems: keep the solution only if it stays near the segment.
+    const double span = Norm(b - a) + 1.0;
+    const Point3 mid = (a + b) * 0.5;
+    if (Norm(v - mid) <= 4.0 * span) return v;
+  }
+  // Fallback: best of endpoints and midpoint.
+  const Point3 mid = (a + b) * 0.5;
+  const double ea = Evaluate(a);
+  const double eb = Evaluate(b);
+  const double em = Evaluate(mid);
+  if (em <= ea && em <= eb) return mid;
+  return ea <= eb ? a : b;
+}
+
+}  // namespace dm

@@ -1,0 +1,55 @@
+#ifndef DIRECTMESH_SIMPLIFY_QUADRIC_H_
+#define DIRECTMESH_SIMPLIFY_QUADRIC_H_
+
+#include "common/geometry.h"
+
+namespace dm {
+
+/// Garland-Heckbert error quadric: the symmetric 4x4 matrix
+/// Q = sum_planes (p p^T) such that v^T Q v is the sum of squared
+/// distances from v to the accumulated planes. Stored as the 10
+/// distinct coefficients.
+///
+/// Both paper datasets "are pre-processed using the Quadric Error
+/// Metrics [7]"; this is that metric.
+class Quadric {
+ public:
+  Quadric() = default;
+
+  /// Adds the plane through triangle (a, b, c), weighted by the
+  /// triangle's area (the standard area-weighted formulation).
+  void AddTrianglePlane(const Point3& a, const Point3& b, const Point3& c);
+
+  /// Adds plane ax + by + cz + d = 0 with (a, b, c) unit, weight w.
+  void AddPlane(double a, double b, double c, double d, double w = 1.0);
+
+  /// Quadric form v^T Q v at the point; clamped at 0 (tiny negative
+  /// values arise from rounding).
+  double Evaluate(const Point3& v) const;
+
+  /// Point minimizing the quadric. Falls back to the best of
+  /// (`a`, `b`, midpoint) when the 3x3 system is singular (flat
+  /// regions).
+  Point3 OptimalPoint(const Point3& a, const Point3& b) const;
+
+  Quadric& operator+=(const Quadric& o);
+  friend Quadric operator+(Quadric a, const Quadric& b) {
+    a += b;
+    return a;
+  }
+
+ private:
+  // Upper triangle of the symmetric matrix:
+  // [ q11 q12 q13 q14 ]
+  // [     q22 q23 q24 ]
+  // [         q33 q34 ]
+  // [             q44 ]
+  double q11_ = 0, q12_ = 0, q13_ = 0, q14_ = 0;
+  double q22_ = 0, q23_ = 0, q24_ = 0;
+  double q33_ = 0, q34_ = 0;
+  double q44_ = 0;
+};
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_SIMPLIFY_QUADRIC_H_

@@ -1,0 +1,169 @@
+#include "simplify/simplifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "simplify/quadric.h"
+
+namespace dm {
+
+namespace {
+
+struct Candidate {
+  double cost;
+  VertexId u;
+  VertexId v;
+  // Min-heap by cost; ties broken by ids for determinism.
+  bool operator>(const Candidate& o) const {
+    if (cost != o.cost) return cost > o.cost;
+    if (u != o.u) return u > o.u;
+    return v > o.v;
+  }
+};
+
+using MinHeap =
+    std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>>;
+
+}  // namespace
+
+SimplifyResult SimplifyMesh(const TriangleMesh& mesh,
+                            const SimplifyOptions& options) {
+  AdjacencyMesh adj(mesh);
+  SimplifyResult result;
+
+  // Per-vertex quadrics from the initial faces. Parents get the sum of
+  // their children's quadrics (the standard additive rule), so the
+  // vector grows as collapses run.
+  std::vector<Quadric> quadrics(static_cast<size_t>(adj.num_vertices_total()));
+  for (const Triangle& t : mesh.triangles()) {
+    Quadric q;
+    q.AddTrianglePlane(mesh.vertex(t[0]), mesh.vertex(t[1]),
+                       mesh.vertex(t[2]));
+    for (int i = 0; i < 3; ++i) quadrics[static_cast<size_t>(t[i])] += q;
+  }
+
+  MinHeap heap;
+  auto push_edge = [&](VertexId u, VertexId v) {
+    if (u > v) std::swap(u, v);
+    const Quadric q =
+        quadrics[static_cast<size_t>(u)] + quadrics[static_cast<size_t>(v)];
+    const Point3 opt = q.OptimalPoint(adj.position(u), adj.position(v));
+    heap.push(Candidate{q.Evaluate(opt), u, v});
+  };
+
+  for (VertexId u = 0; u < adj.num_vertices_total(); ++u) {
+    for (VertexId v : adj.neighbors(u)) {
+      if (v > u) push_edge(u, v);
+    }
+  }
+
+  // Edge costs never change while both endpoints are alive (quadrics
+  // are fixed at vertex creation), so heap entries need no versioning:
+  // an entry is valid iff both endpoints are alive and the edge still
+  // exists. Entries blocked by the link condition are re-pushed with a
+  // small cost inflation so topology changes can unblock them; if the
+  // whole frontier is blocked we relax the condition rather than stop
+  // early (counted in forced_collapses).
+  int64_t consecutive_blocked = 0;
+  while (adj.num_alive() > options.target_vertices) {
+    if (heap.empty()) {
+      // Refill from scratch (can only happen if every remaining entry
+      // was consumed as stale); rebuild candidates from live edges.
+      bool any = false;
+      for (VertexId u : adj.AliveVertices()) {
+        for (VertexId v : adj.neighbors(u)) {
+          if (v > u) {
+            push_edge(u, v);
+            any = true;
+          }
+        }
+      }
+      if (!any) break;  // disconnected leftovers; nothing to collapse
+      continue;
+    }
+    Candidate cand = heap.top();
+    heap.pop();
+    if (!adj.IsAlive(cand.u) || !adj.IsAlive(cand.v) ||
+        !adj.HasEdge(cand.u, cand.v)) {
+      continue;  // stale
+    }
+    const bool can = adj.CanCollapse(cand.u, cand.v);
+    bool forced = false;
+    if (!can) {
+      ++consecutive_blocked;
+      if (consecutive_blocked <= static_cast<int64_t>(heap.size()) + 1) {
+        cand.cost = cand.cost * 1.05 + 1e-12;
+        heap.push(cand);
+        continue;
+      }
+      // Entire frontier blocked: relax the link condition.
+      forced = true;
+    }
+    consecutive_blocked = 0;
+
+    CollapseRecord rec;
+    if (forced) {
+      // The whole frontier is blocked by the link condition (possible
+      // only in pathological topologies). Scan for the cheapest legal
+      // edge anywhere in the mesh to guarantee progress.
+      bool done = false;
+      double best_cost = 0.0;
+      VertexId best_u = kInvalidVertex;
+      VertexId best_v = kInvalidVertex;
+      for (VertexId u2 : adj.AliveVertices()) {
+        for (VertexId v2 : adj.neighbors(u2)) {
+          if (v2 <= u2 || !adj.CanCollapse(u2, v2)) continue;
+          const Quadric q2 = quadrics[static_cast<size_t>(u2)] +
+                             quadrics[static_cast<size_t>(v2)];
+          const Point3 p2 =
+              q2.OptimalPoint(adj.position(u2), adj.position(v2));
+          const double c2 = q2.Evaluate(p2);
+          if (!done || c2 < best_cost) {
+            done = true;
+            best_cost = c2;
+            best_u = u2;
+            best_v = v2;
+          }
+        }
+      }
+      if (!done) break;  // truly stuck; return partial result
+      ++result.forced_collapses;
+      cand.u = best_u;
+      cand.v = best_v;
+    }
+
+    const Quadric qc = quadrics[static_cast<size_t>(cand.u)] +
+                       quadrics[static_cast<size_t>(cand.v)];
+    const Point3 cu = adj.position(cand.u);
+    const Point3 cv = adj.position(cand.v);
+    const Point3 ppos = qc.OptimalPoint(cu, cv);
+    rec = adj.Collapse(cand.u, cand.v, ppos);
+    quadrics.push_back(qc);  // parent's quadric, id == rec.parent
+
+    CollapseStep step;
+    step.record = rec;
+    step.parent_pos = ppos;
+    if (options.metric == ErrorMetric::kQuadric) {
+      // The quadric form is a *squared* distance sum; report the
+      // square root so e is in elevation units, comparable to the
+      // vertical-distance measure the paper describes.
+      step.error = std::sqrt(qc.Evaluate(ppos));
+    } else {
+      step.error = std::max(std::fabs(cu.z - ppos.z),
+                            std::fabs(cv.z - ppos.z));
+    }
+    result.steps.push_back(step);
+
+    for (VertexId n : adj.neighbors(rec.parent)) push_edge(rec.parent, n);
+  }
+
+  result.roots = adj.AliveVertices();
+  result.positions.reserve(static_cast<size_t>(adj.num_vertices_total()));
+  for (VertexId i = 0; i < adj.num_vertices_total(); ++i) {
+    result.positions.push_back(adj.position(i));
+  }
+  return result;
+}
+
+}  // namespace dm

@@ -1,0 +1,62 @@
+#ifndef DIRECTMESH_SIMPLIFY_SIMPLIFIER_H_
+#define DIRECTMESH_SIMPLIFY_SIMPLIFIER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "mesh/adjacency.h"
+#include "mesh/triangle_mesh.h"
+
+namespace dm {
+
+/// Error measure attached to each collapse. The paper builds its trees
+/// with Quadric Error Metrics and mentions vertical distance as an
+/// alternative; both are provided.
+enum class ErrorMetric {
+  kQuadric,   // Garland-Heckbert quadric cost of the contraction
+  kVertical,  // max vertical (z) distance from the children to the parent
+};
+
+/// One step of the bottom-up PM construction: edge (child1, child2)
+/// collapsed into the new vertex `parent` placed at `parent_pos` with
+/// approximation error `error`.
+struct CollapseStep {
+  CollapseRecord record;
+  Point3 parent_pos;
+  double error = 0.0;
+};
+
+/// Output of a full simplification run.
+struct SimplifyResult {
+  /// Collapse steps in execution order (error is non-decreasing only
+  /// after PM normalization; raw QEM costs can dip).
+  std::vector<CollapseStep> steps;
+  /// Ids of the vertices remaining alive at the end (size 1 when the
+  /// mesh was fully collapsed into a single root).
+  std::vector<VertexId> roots;
+  /// Positions of every vertex ever created (original + parents),
+  /// indexed by VertexId.
+  std::vector<Point3> positions;
+  /// Number of collapses that had to relax the manifold link condition
+  /// (should be 0 or tiny; exposed for tests).
+  int64_t forced_collapses = 0;
+};
+
+struct SimplifyOptions {
+  ErrorMetric metric = ErrorMetric::kQuadric;
+  /// Stop when this many vertices remain (1 = full PM tree).
+  int64_t target_vertices = 1;
+};
+
+/// Runs greedy QEM edge-collapse simplification over the whole mesh,
+/// recording the PM collapse sequence. This is the paper's
+/// "constructing an MTM (PM) tree is a bottom-up process": each step
+/// picks the connected pair whose contraction has minimum error and
+/// replaces it by a newly created parent vertex.
+SimplifyResult SimplifyMesh(const TriangleMesh& mesh,
+                            const SimplifyOptions& options = {});
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_SIMPLIFY_SIMPLIFIER_H_

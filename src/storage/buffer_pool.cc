@@ -1,0 +1,161 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace dm {
+
+PageGuard::PageGuard(BufferPool* pool, PageId id, uint8_t* data)
+    : pool_(pool), id_(id), data_(data) {}
+
+PageGuard::PageGuard(PageGuard&& o) noexcept
+    : pool_(o.pool_), id_(o.id_), data_(o.data_) {
+  o.pool_ = nullptr;
+  o.data_ = nullptr;
+  o.id_ = kInvalidPage;
+}
+
+PageGuard& PageGuard::operator=(PageGuard&& o) noexcept {
+  if (this != &o) {
+    Release();
+    pool_ = o.pool_;
+    id_ = o.id_;
+    data_ = o.data_;
+    o.pool_ = nullptr;
+    o.data_ = nullptr;
+    o.id_ = kInvalidPage;
+  }
+  return *this;
+}
+
+PageGuard::~PageGuard() { Release(); }
+
+void PageGuard::MarkDirty() {
+  assert(valid());
+  pool_->MarkDirty(id_);
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(id_);
+    pool_ = nullptr;
+    data_ = nullptr;
+    id_ = kInvalidPage;
+  }
+}
+
+BufferPool::BufferPool(DiskManager* disk, uint32_t capacity_pages)
+    : disk_(disk), capacity_(capacity_pages) {
+  assert(capacity_ > 0);
+  frames_.resize(capacity_);
+  for (auto& f : frames_) f.data.resize(disk_->page_size());
+  free_list_.reserve(capacity_);
+  for (uint32_t i = 0; i < capacity_; ++i) {
+    free_list_.push_back(capacity_ - 1 - i);
+  }
+}
+
+BufferPool::~BufferPool() {
+  // Best-effort write-back; errors at teardown are not recoverable.
+  (void)FlushAll();
+}
+
+Result<uint32_t> BufferPool::GetFreeFrame() {
+  if (!free_list_.empty()) {
+    const uint32_t idx = free_list_.back();
+    free_list_.pop_back();
+    return idx;
+  }
+  if (lru_.empty()) {
+    return Status::Internal("buffer pool exhausted: all frames pinned");
+  }
+  const uint32_t idx = lru_.front();
+  lru_.pop_front();
+  Frame& f = frames_[idx];
+  f.in_lru = false;
+  if (f.dirty) {
+    DM_RETURN_NOT_OK(disk_->WritePage(f.id, f.data.data()));
+    ++stats_.disk_writes;
+    f.dirty = false;
+  }
+  page_table_.erase(f.id);
+  return idx;
+}
+
+Result<PageGuard> BufferPool::Fetch(PageId id) {
+  ++stats_.logical_fetches;
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    Frame& f = frames_[it->second];
+    if (f.pins == 0 && f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    ++f.pins;
+    return PageGuard(this, id, f.data.data());
+  }
+  DM_ASSIGN_OR_RETURN(const uint32_t idx, GetFreeFrame());
+  Frame& f = frames_[idx];
+  DM_RETURN_NOT_OK(disk_->ReadPage(id, f.data.data()));
+  ++stats_.disk_reads;
+  f.id = id;
+  f.pins = 1;
+  f.dirty = false;
+  page_table_[id] = idx;
+  return PageGuard(this, id, f.data.data());
+}
+
+Result<PageGuard> BufferPool::NewPage() {
+  DM_ASSIGN_OR_RETURN(const PageId id, disk_->AllocatePage());
+  DM_ASSIGN_OR_RETURN(const uint32_t idx, GetFreeFrame());
+  Frame& f = frames_[idx];
+  std::fill(f.data.begin(), f.data.end(), 0);
+  f.id = id;
+  f.pins = 1;
+  f.dirty = true;
+  page_table_[id] = idx;
+  return PageGuard(this, id, f.data.data());
+}
+
+void BufferPool::Unpin(PageId id) {
+  auto it = page_table_.find(id);
+  assert(it != page_table_.end());
+  Frame& f = frames_[it->second];
+  assert(f.pins > 0);
+  if (--f.pins == 0) {
+    lru_.push_back(it->second);
+    f.lru_pos = std::prev(lru_.end());
+    f.in_lru = true;
+  }
+}
+
+void BufferPool::MarkDirty(PageId id) {
+  auto it = page_table_.find(id);
+  assert(it != page_table_.end());
+  frames_[it->second].dirty = true;
+}
+
+Status BufferPool::FlushAll() {
+  for (uint32_t idx = 0; idx < capacity_; ++idx) {
+    Frame& f = frames_[idx];
+    if (f.id == kInvalidPage || page_table_.find(f.id) == page_table_.end())
+      continue;
+    if (page_table_[f.id] != idx) continue;
+    if (f.dirty) {
+      DM_RETURN_NOT_OK(disk_->WritePage(f.id, f.data.data()));
+      ++stats_.disk_writes;
+      f.dirty = false;
+    }
+    if (f.pins == 0) {
+      if (f.in_lru) {
+        lru_.erase(f.lru_pos);
+        f.in_lru = false;
+      }
+      page_table_.erase(f.id);
+      f.id = kInvalidPage;
+      free_list_.push_back(idx);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dm

@@ -1,0 +1,114 @@
+#ifndef DIRECTMESH_STORAGE_BUFFER_POOL_H_
+#define DIRECTMESH_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace dm {
+
+/// I/O counters. `disk_reads` is the paper's metric: the number of
+/// pages fetched from disk ("number of disk accesses obtained from
+/// Oracle's performance statistics report"). Benches flush the pool
+/// and reset these before each query, mirroring the paper's
+/// "database and system buffer is flushed before each test".
+struct IoStats {
+  int64_t logical_fetches = 0;
+  int64_t disk_reads = 0;
+  int64_t disk_writes = 0;
+
+  void Reset() { *this = IoStats{}; }
+};
+
+class BufferPool;
+
+/// RAII pin on a buffer frame. The page stays in memory while any
+/// guard on it is alive. Move-only.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, PageId id, uint8_t* data);
+  PageGuard(PageGuard&& o) noexcept;
+  PageGuard& operator=(PageGuard&& o) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  ~PageGuard();
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId id() const { return id_; }
+  const uint8_t* data() const { return data_; }
+  uint8_t* data() { return data_; }
+
+  /// Marks the frame dirty so eviction/flush writes it back.
+  void MarkDirty();
+
+  /// Releases the pin early.
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kInvalidPage;
+  uint8_t* data_ = nullptr;
+};
+
+/// LRU buffer pool over a DiskManager. Single-threaded by design: the
+/// paper's workload is a single query stream, and keeping the pool
+/// lock-free makes the disk-access counts exactly reproducible.
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, uint32_t capacity_pages);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  uint32_t capacity() const { return capacity_; }
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  /// Fetches a page, reading from disk on miss.
+  Result<PageGuard> Fetch(PageId id);
+
+  /// Allocates a fresh zeroed page and returns it pinned and dirty.
+  Result<PageGuard> NewPage();
+
+  /// Writes back all dirty frames and drops every unpinned frame
+  /// (cold-cache state for the next query).
+  Status FlushAll();
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    PageId id = kInvalidPage;
+    std::vector<uint8_t> data;
+    int32_t pins = 0;
+    bool dirty = false;
+    // Position in lru_ when unpinned.
+    std::list<uint32_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  void Unpin(PageId id);
+  void MarkDirty(PageId id);
+  Result<uint32_t> GetFreeFrame();  // may evict
+
+  DiskManager* disk_;
+  uint32_t capacity_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, uint32_t> page_table_;
+  std::list<uint32_t> lru_;          // front = least recently used
+  std::vector<uint32_t> free_list_;  // frames never used / dropped
+  IoStats stats_;
+};
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_STORAGE_BUFFER_POOL_H_

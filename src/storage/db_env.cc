@@ -1,0 +1,15 @@
+#include "storage/db_env.h"
+
+namespace dm {
+
+Result<std::unique_ptr<DbEnv>> DbEnv::Open(const std::string& path,
+                                           const DbOptions& options) {
+  DM_ASSIGN_OR_RETURN(
+      auto disk,
+      DiskManager::Open(path, options.page_size, options.truncate));
+  auto pool = std::make_unique<BufferPool>(disk.get(), options.pool_pages);
+  return std::unique_ptr<DbEnv>(
+      new DbEnv(std::move(disk), std::move(pool)));
+}
+
+}  // namespace dm

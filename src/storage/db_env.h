@@ -1,0 +1,52 @@
+#ifndef DIRECTMESH_STORAGE_DB_ENV_H_
+#define DIRECTMESH_STORAGE_DB_ENV_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace dm {
+
+/// Options for opening a database environment.
+struct DbOptions {
+  uint32_t page_size = kDefaultPageSize;
+  /// Buffer pool capacity in pages. The default (2048 pages = 8 MiB at
+  /// 4 KiB pages) is small relative to the datasets, as in the paper's
+  /// 512 MB machine vs multi-GB terrain; the buffer ablation sweeps it.
+  uint32_t pool_pages = 2048;
+  bool truncate = true;
+};
+
+/// One database: a single page file shared by every table and index of
+/// a dataset (heap files, B+-trees, R*-trees, quadtrees), fronted by
+/// one buffer pool. Disk-access accounting is therefore global across
+/// structures, matching how the paper reads Oracle's counters.
+class DbEnv {
+ public:
+  static Result<std::unique_ptr<DbEnv>> Open(const std::string& path,
+                                             const DbOptions& options = {});
+
+  BufferPool& pool() { return *pool_; }
+  DiskManager& disk() { return *disk_; }
+  uint32_t page_size() const { return disk_->page_size(); }
+
+  const IoStats& stats() const { return pool_->stats(); }
+  void ResetStats() { pool_->ResetStats(); }
+
+  /// Cold-cache reset: write back dirty pages and empty the pool.
+  Status FlushAll() { return pool_->FlushAll(); }
+
+ private:
+  DbEnv(std::unique_ptr<DiskManager> disk, std::unique_ptr<BufferPool> pool)
+      : disk_(std::move(disk)), pool_(std::move(pool)) {}
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_STORAGE_DB_ENV_H_

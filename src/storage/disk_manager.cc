@@ -1,0 +1,70 @@
+#include "storage/disk_manager.h"
+
+#include <memory>
+#include <vector>
+
+namespace dm {
+
+DiskManager::~DiskManager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<DiskManager>> DiskManager::Open(
+    const std::string& path, uint32_t page_size, bool truncate) {
+  if (page_size < 256 || (page_size & (page_size - 1)) != 0) {
+    return Status::InvalidArgument("page size must be a power of two >= 256");
+  }
+  std::FILE* f = std::fopen(path.c_str(), truncate ? "wb+" : "rb+");
+  if (f == nullptr && !truncate) f = std::fopen(path.c_str(), "wb+");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IOError("seek failed on " + path);
+  }
+  const long size = std::ftell(f);
+  const PageId pages = static_cast<PageId>(static_cast<uint64_t>(size) /
+                                           page_size);
+  return std::unique_ptr<DiskManager>(new DiskManager(f, page_size, pages));
+}
+
+Result<PageId> DiskManager::AllocatePage() {
+  const PageId id = num_pages_;
+  std::vector<uint8_t> zero(page_size_, 0);
+  if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0) {
+    return Status::IOError("seek failed extending file");
+  }
+  if (std::fwrite(zero.data(), 1, page_size_, file_) != page_size_) {
+    return Status::IOError("short write extending file");
+  }
+  ++num_pages_;
+  return id;
+}
+
+Status DiskManager::ReadPage(PageId id, uint8_t* out) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange("page " + std::to_string(id) + " beyond EOF");
+  }
+  if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0) {
+    return Status::IOError("seek failed");
+  }
+  if (std::fread(out, 1, page_size_, file_) != page_size_) {
+    return Status::IOError("short read of page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const uint8_t* data) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange("page " + std::to_string(id) + " beyond EOF");
+  }
+  if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0) {
+    return Status::IOError("seek failed");
+  }
+  if (std::fwrite(data, 1, page_size_, file_) != page_size_) {
+    return Status::IOError("short write of page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+}  // namespace dm

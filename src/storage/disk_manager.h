@@ -1,0 +1,53 @@
+#ifndef DIRECTMESH_STORAGE_DISK_MANAGER_H_
+#define DIRECTMESH_STORAGE_DISK_MANAGER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace dm {
+
+/// Fixed-size-page file storage. One DiskManager per database file;
+/// all structures of a dataset share it (one "tablespace"), so the
+/// buffer pool above it sees the union of their page traffic — the
+/// same accounting granularity as the Oracle statistics report the
+/// paper measures disk accesses from.
+class DiskManager {
+ public:
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+  ~DiskManager();
+
+  /// Creates (truncating) or opens a page file.
+  static Result<std::unique_ptr<DiskManager>> Open(const std::string& path,
+                                                   uint32_t page_size,
+                                                   bool truncate);
+
+  uint32_t page_size() const { return page_size_; }
+  PageId num_pages() const { return num_pages_; }
+
+  /// Extends the file by one zeroed page and returns its id.
+  Result<PageId> AllocatePage();
+
+  /// Reads page `id` into `out` (page_size bytes).
+  Status ReadPage(PageId id, uint8_t* out);
+
+  /// Writes page `id` from `data` (page_size bytes).
+  Status WritePage(PageId id, const uint8_t* data);
+
+ private:
+  DiskManager(std::FILE* file, uint32_t page_size, PageId num_pages)
+      : file_(file), page_size_(page_size), num_pages_(num_pages) {}
+
+  std::FILE* file_;
+  uint32_t page_size_;
+  PageId num_pages_;
+};
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_STORAGE_DISK_MANAGER_H_

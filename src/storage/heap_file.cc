@@ -1,0 +1,133 @@
+#include "storage/heap_file.h"
+
+#include <cstring>
+
+namespace dm {
+
+namespace {
+
+// Page header offsets.
+constexpr uint32_t kNextPageOff = 0;   // u32
+constexpr uint32_t kSlotCountOff = 4;  // u16
+constexpr uint32_t kFreeOffOff = 6;    // u16
+constexpr uint32_t kHeaderSize = 8;
+constexpr uint32_t kSlotSize = 4;  // u16 offset + u16 length
+
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+uint16_t LoadU16(const uint8_t* p) {
+  uint16_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+void StoreU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+void StoreU16(uint8_t* p, uint16_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+}  // namespace
+
+Result<HeapFile> HeapFile::Create(DbEnv* env) {
+  DM_ASSIGN_OR_RETURN(PageGuard page, env->pool().NewPage());
+  StoreU32(page.data() + kNextPageOff, kInvalidPage);
+  StoreU16(page.data() + kSlotCountOff, 0);
+  StoreU16(page.data() + kFreeOffOff, kHeaderSize);
+  page.MarkDirty();
+  return HeapFile(env, page.id());
+}
+
+HeapFile HeapFile::Open(DbEnv* env, PageId first_page) {
+  HeapFile hf(env, first_page);
+  // Walk to the tail to support further appends; also recounts records.
+  PageId id = first_page;
+  hf.num_pages_ = 0;
+  hf.num_records_ = 0;
+  while (id != kInvalidPage) {
+    auto page_or = env->pool().Fetch(id);
+    if (!page_or.ok()) break;  // truncated file: treat walked prefix as all
+    PageGuard page = std::move(page_or).value();
+    hf.num_records_ += LoadU16(page.data() + kSlotCountOff);
+    ++hf.num_pages_;
+    hf.tail_page_ = id;
+    id = LoadU32(page.data() + kNextPageOff);
+  }
+  return hf;
+}
+
+Result<RecordId> HeapFile::Append(const uint8_t* data, uint32_t size) {
+  if (size > MaxRecordSize()) {
+    return Status::InvalidArgument("record of " + std::to_string(size) +
+                                   " bytes exceeds page capacity");
+  }
+  DM_ASSIGN_OR_RETURN(PageGuard page, env_->pool().Fetch(tail_page_));
+  uint16_t slot_count = LoadU16(page.data() + kSlotCountOff);
+  uint16_t free_off = LoadU16(page.data() + kFreeOffOff);
+  const uint32_t page_size = env_->page_size();
+  const uint32_t dir_top = page_size - (slot_count + 1u) * kSlotSize;
+
+  if (free_off + size > dir_top) {
+    // Tail page full: chain a new page.
+    DM_ASSIGN_OR_RETURN(PageGuard fresh, env_->pool().NewPage());
+    StoreU32(fresh.data() + kNextPageOff, kInvalidPage);
+    StoreU16(fresh.data() + kSlotCountOff, 0);
+    StoreU16(fresh.data() + kFreeOffOff, kHeaderSize);
+    fresh.MarkDirty();
+    StoreU32(page.data() + kNextPageOff, fresh.id());
+    page.MarkDirty();
+    tail_page_ = fresh.id();
+    ++num_pages_;
+    page = std::move(fresh);
+    slot_count = 0;
+    free_off = kHeaderSize;
+  }
+
+  std::memcpy(page.data() + free_off, data, size);
+  uint8_t* slot = page.data() + page_size - (slot_count + 1u) * kSlotSize;
+  StoreU16(slot, static_cast<uint16_t>(free_off));
+  StoreU16(slot + 2, static_cast<uint16_t>(size));
+  StoreU16(page.data() + kSlotCountOff, static_cast<uint16_t>(slot_count + 1));
+  StoreU16(page.data() + kFreeOffOff, static_cast<uint16_t>(free_off + size));
+  page.MarkDirty();
+  ++num_records_;
+  return RecordId{page.id(), slot_count};
+}
+
+Status HeapFile::Get(RecordId rid, std::vector<uint8_t>* out) const {
+  DM_ASSIGN_OR_RETURN(PageGuard page, env_->pool().Fetch(rid.page));
+  const uint16_t slot_count = LoadU16(page.data() + kSlotCountOff);
+  if (rid.slot >= slot_count) {
+    return Status::NotFound("slot " + std::to_string(rid.slot) +
+                            " out of range on page " +
+                            std::to_string(rid.page));
+  }
+  const uint8_t* slot =
+      page.data() + env_->page_size() - (rid.slot + 1u) * kSlotSize;
+  const uint16_t off = LoadU16(slot);
+  const uint16_t len = LoadU16(slot + 2);
+  out->assign(page.data() + off, page.data() + off + len);
+  return Status::OK();
+}
+
+Status HeapFile::Scan(
+    const std::function<bool(RecordId, const uint8_t*, uint32_t)>& callback)
+    const {
+  PageId id = first_page_;
+  while (id != kInvalidPage) {
+    DM_ASSIGN_OR_RETURN(PageGuard page, env_->pool().Fetch(id));
+    const uint16_t slot_count = LoadU16(page.data() + kSlotCountOff);
+    for (uint16_t s = 0; s < slot_count; ++s) {
+      const uint8_t* slot =
+          page.data() + env_->page_size() - (s + 1u) * kSlotSize;
+      const uint16_t off = LoadU16(slot);
+      const uint16_t len = LoadU16(slot + 2);
+      if (!callback(RecordId{id, s}, page.data() + off, len)) {
+        return Status::OK();
+      }
+    }
+    id = LoadU32(page.data() + kNextPageOff);
+  }
+  return Status::OK();
+}
+
+}  // namespace dm

@@ -1,0 +1,61 @@
+#ifndef DIRECTMESH_STORAGE_HEAP_FILE_H_
+#define DIRECTMESH_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/db_env.h"
+#include "storage/page.h"
+
+namespace dm {
+
+/// Append-only heap file of variable-length records in slotted pages.
+///
+/// Page layout: [next_page u32][slot_count u16][free_off u16]
+/// [record bytes grow up][...free...][slot dir grows down], slot =
+/// [offset u16][length u16]. Records never span pages; the largest
+/// storable record is page_size - 12.
+///
+/// Terrain nodes are appended in Hilbert order of their (x, y) so disk
+/// pages preserve spatial clustering, as the paper's setup requires.
+class HeapFile {
+ public:
+  /// Creates a new heap file in `env`, allocating its first page.
+  static Result<HeapFile> Create(DbEnv* env);
+
+  /// Opens an existing heap file by its first page id.
+  static HeapFile Open(DbEnv* env, PageId first_page);
+
+  PageId first_page() const { return first_page_; }
+  int64_t num_records() const { return num_records_; }
+  int64_t num_pages() const { return num_pages_; }
+
+  /// Largest record this file can store.
+  uint32_t MaxRecordSize() const { return env_->page_size() - 12; }
+
+  /// Appends a record, returns its id.
+  Result<RecordId> Append(const uint8_t* data, uint32_t size);
+
+  /// Reads record `rid` into `out` (replacing its contents).
+  Status Get(RecordId rid, std::vector<uint8_t>* out) const;
+
+  /// Full scan in storage order. The callback may return false to stop.
+  Status Scan(const std::function<bool(RecordId, const uint8_t*, uint32_t)>&
+                  callback) const;
+
+ private:
+  HeapFile(DbEnv* env, PageId first_page)
+      : env_(env), first_page_(first_page), tail_page_(first_page) {}
+
+  DbEnv* env_;
+  PageId first_page_;
+  PageId tail_page_;
+  int64_t num_records_ = 0;
+  int64_t num_pages_ = 1;
+};
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_STORAGE_HEAP_FILE_H_

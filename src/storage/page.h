@@ -1,0 +1,43 @@
+#ifndef DIRECTMESH_STORAGE_PAGE_H_
+#define DIRECTMESH_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+namespace dm {
+
+/// Page number within a database file. Page 0 is valid; kInvalidPage
+/// marks absent links.
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPage = 0xFFFFFFFFu;
+
+/// Default page size. The benches sweep this in the page-size ablation;
+/// everything reads the runtime value from DbEnv.
+inline constexpr uint32_t kDefaultPageSize = 4096;
+
+/// Reference to a record inside a heap file: page plus slot index.
+struct RecordId {
+  PageId page = kInvalidPage;
+  uint16_t slot = 0;
+
+  bool valid() const { return page != kInvalidPage; }
+
+  /// Packs into 48 bits (page:32, slot:16) for storage in index
+  /// payloads.
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(page) << 16) | slot;
+  }
+  static RecordId Unpack(uint64_t packed) {
+    RecordId rid;
+    rid.page = static_cast<PageId>(packed >> 16);
+    rid.slot = static_cast<uint16_t>(packed & 0xFFFF);
+    return rid;
+  }
+
+  friend bool operator==(const RecordId& a, const RecordId& b) {
+    return a.page == b.page && a.slot == b.slot;
+  }
+};
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_STORAGE_PAGE_H_

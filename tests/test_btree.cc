@@ -1,0 +1,125 @@
+#include "index/btree/bplus_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace dm {
+namespace {
+
+class BPlusTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = dm::testing::OpenTempEnv("btree", DbOptions{.page_size = 512,
+                                                       .pool_pages = 64});
+    tree_.emplace(std::move(BPlusTree::Create(env_.get())).ValueOrDie());
+  }
+  std::unique_ptr<DbEnv> env_;
+  std::optional<BPlusTree> tree_;
+};
+
+TEST_F(BPlusTreeTest, InsertAndGet) {
+  ASSERT_TRUE(tree_->Insert(10, 100).ok());
+  ASSERT_TRUE(tree_->Insert(-5, 55).ok());
+  auto v = std::move(tree_->Get(10)).ValueOrDie();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 100u);
+  EXPECT_EQ(*std::move(tree_->Get(-5)).ValueOrDie(), 55u);
+  EXPECT_FALSE(std::move(tree_->Get(11)).ValueOrDie().has_value());
+  EXPECT_EQ(tree_->size(), 2);
+}
+
+TEST_F(BPlusTreeTest, OverwriteKeepsSizeStable) {
+  ASSERT_TRUE(tree_->Insert(1, 10).ok());
+  ASSERT_TRUE(tree_->Insert(1, 20).ok());
+  EXPECT_EQ(tree_->size(), 1);
+  EXPECT_EQ(*std::move(tree_->Get(1)).ValueOrDie(), 20u);
+}
+
+TEST_F(BPlusTreeTest, ManyInsertsSplitAndStayConsistent) {
+  const int n = 5000;  // forces multi-level splits at 512B pages
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree_->Insert(i * 7 % n, static_cast<uint64_t>(i)).ok());
+  }
+  EXPECT_GT(tree_->height(), 1);
+  for (int k = 0; k < n; ++k) {
+    auto v = std::move(tree_->Get(k)).ValueOrDie();
+    ASSERT_TRUE(v.has_value()) << k;
+  }
+}
+
+TEST_F(BPlusTreeTest, ScanReturnsSortedRange) {
+  for (int i = 100; i > 0; --i) {
+    ASSERT_TRUE(tree_->Insert(i * 2, static_cast<uint64_t>(i)).ok());
+  }
+  std::vector<int64_t> keys;
+  ASSERT_TRUE(tree_->Scan(30, 60, [&](int64_t k, uint64_t) {
+                     keys.push_back(k);
+                     return true;
+                   }).ok());
+  ASSERT_FALSE(keys.empty());
+  EXPECT_EQ(keys.front(), 30);
+  EXPECT_EQ(keys.back(), 60);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(keys.size(), 16u);  // 30,32,...,60
+}
+
+TEST_F(BPlusTreeTest, ScanEarlyStop) {
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(tree_->Insert(i, static_cast<uint64_t>(i)).ok());
+  }
+  int seen = 0;
+  ASSERT_TRUE(tree_->Scan(0, 100, [&](int64_t, uint64_t) {
+                     return ++seen < 5;
+                   }).ok());
+  EXPECT_EQ(seen, 5);
+}
+
+TEST_F(BPlusTreeTest, RandomizedAgainstStdMap) {
+  Rng rng(777);
+  std::map<int64_t, uint64_t> model;
+  for (int i = 0; i < 4000; ++i) {
+    const int64_t k = rng.UniformInt(-2000, 2000);
+    const uint64_t v = rng.Next();
+    ASSERT_TRUE(tree_->Insert(k, v).ok());
+    model[k] = v;
+  }
+  EXPECT_EQ(tree_->size(), static_cast<int64_t>(model.size()));
+  for (const auto& [k, v] : model) {
+    auto got = std::move(tree_->Get(k)).ValueOrDie();
+    ASSERT_TRUE(got.has_value()) << k;
+    EXPECT_EQ(*got, v) << k;
+  }
+  // Full scan equals the model.
+  std::vector<std::pair<int64_t, uint64_t>> scanned;
+  ASSERT_TRUE(tree_->Scan(-3000, 3000, [&](int64_t k, uint64_t v) {
+                     scanned.emplace_back(k, v);
+                     return true;
+                   }).ok());
+  EXPECT_EQ(scanned.size(), model.size());
+  auto it = model.begin();
+  for (const auto& [k, v] : scanned) {
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  }
+}
+
+TEST_F(BPlusTreeTest, SurvivesPoolFlushes) {
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(tree_->Insert(i, static_cast<uint64_t>(i * 3)).ok());
+    if (i % 100 == 0) ASSERT_TRUE(env_->FlushAll().ok());
+  }
+  ASSERT_TRUE(env_->FlushAll().ok());
+  env_->ResetStats();
+  EXPECT_EQ(*std::move(tree_->Get(999)).ValueOrDie(), 2997u);
+  // Cold lookup did real I/O proportional to the height.
+  EXPECT_GT(env_->stats().disk_reads, 0);
+  EXPECT_LE(env_->stats().disk_reads, 5);
+}
+
+}  // namespace
+}  // namespace dm

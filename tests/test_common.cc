@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/geometry.h"
+#include "common/hilbert.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace dm {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::NotFound("missing page 7");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing page 7");
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> err(Status::IOError("disk gone"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kIOError);
+}
+
+TEST(ResultTest, MacrosPropagate) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::InvalidArgument("nope");
+    return 7;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    DM_ASSIGN_OR_RETURN(const int v, inner(fail));
+    return v * 2;
+  };
+  EXPECT_EQ(outer(false).value(), 14);
+  EXPECT_EQ(outer(true).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RectTest, EmptyAndArea) {
+  Rect r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.Area(), 0.0);
+  r.ExpandToInclude(1, 2);
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.Area(), 0.0);  // degenerate point
+  r.ExpandToInclude(3, 6);
+  EXPECT_EQ(r.Area(), 8.0);
+  EXPECT_EQ(r.Margin(), 6.0);
+}
+
+TEST(RectTest, ContainsAndIntersects) {
+  const Rect a = Rect::Of(0, 0, 10, 10);
+  const Rect b = Rect::Of(2, 2, 5, 5);
+  const Rect c = Rect::Of(9, 9, 15, 15);
+  const Rect d = Rect::Of(11, 11, 12, 12);
+  EXPECT_TRUE(a.Contains(b));
+  EXPECT_FALSE(b.Contains(a));
+  EXPECT_TRUE(a.Intersects(c));
+  EXPECT_FALSE(a.Intersects(d));
+  EXPECT_TRUE(a.Contains(10.0, 10.0));  // inclusive edges
+  const Rect i = a.Intersection(c);
+  EXPECT_EQ(i.lo_x, 9.0);
+  EXPECT_EQ(i.hi_x, 10.0);
+  EXPECT_TRUE(a.Intersection(d).empty());
+}
+
+TEST(BoxTest, VolumeAndIntersection) {
+  const Box a = Box::Of(0, 0, 0, 4, 5, 2);
+  EXPECT_EQ(a.Volume(), 40.0);
+  EXPECT_EQ(a.Margin(), 11.0);
+  const Box b = Box::Of(2, 2, 1, 9, 9, 9);
+  const Box i = a.Intersection(b);
+  EXPECT_EQ(i.Volume(), 2.0 * 3.0 * 1.0);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(Box::Of(5, 0, 0, 6, 1, 1)));
+  EXPECT_TRUE(a.Intersects(Box::Of(4, 0, 0, 6, 1, 1)));  // touching
+}
+
+TEST(BoxTest, FromRectAndContains) {
+  const Box b = Box::FromRect(Rect::Of(0, 0, 10, 10), 1.0, 2.0);
+  EXPECT_TRUE(b.Contains(5, 5, 1.5));
+  EXPECT_FALSE(b.Contains(5, 5, 2.5));
+  EXPECT_TRUE(b.Contains(Box::FromPoint(0, 0, 1)));
+}
+
+TEST(RngTest, DeterministicStreams) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Rng c(124);
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+    const int64_t k = rng.UniformInt(-5, 5);
+    EXPECT_GE(k, -5);
+    EXPECT_LE(k, 5);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(99);
+  double sum = 0;
+  double sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(HilbertTest, IsABijectionOnSmallGrids) {
+  const uint32_t order = 4;  // 16x16
+  std::set<uint64_t> seen;
+  for (uint32_t y = 0; y < 16; ++y) {
+    for (uint32_t x = 0; x < 16; ++x) {
+      const uint64_t d = HilbertIndex(order, x, y);
+      EXPECT_LT(d, 256u);
+      EXPECT_TRUE(seen.insert(d).second) << "duplicate at " << x << "," << y;
+      uint32_t rx;
+      uint32_t ry;
+      HilbertPoint(order, d, &rx, &ry);
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+    }
+  }
+}
+
+TEST(HilbertTest, ConsecutiveIndicesAreAdjacentCells) {
+  const uint32_t order = 5;
+  uint32_t px;
+  uint32_t py;
+  HilbertPoint(order, 0, &px, &py);
+  for (uint64_t d = 1; d < 1024; ++d) {
+    uint32_t x;
+    uint32_t y;
+    HilbertPoint(order, d, &x, &y);
+    const uint32_t dist = (x > px ? x - px : px - x) +
+                          (y > py ? y - py : py - y);
+    EXPECT_EQ(dist, 1u) << "jump at d=" << d;
+    px = x;
+    py = y;
+  }
+}
+
+TEST(HilbertTest, UnitKeyClamps) {
+  EXPECT_EQ(HilbertKeyUnit(-1.0, -5.0), HilbertKeyUnit(0.0, 0.0));
+  EXPECT_EQ(HilbertKeyUnit(2.0, 7.0), HilbertKeyUnit(0.999999999, 0.999999999));
+}
+
+TEST(GeometryTest, VectorOps) {
+  const Point3 a{1, 0, 0};
+  const Point3 b{0, 1, 0};
+  EXPECT_EQ(Dot(a, b), 0.0);
+  const Point3 c = Cross(a, b);
+  EXPECT_EQ(c.z, 1.0);
+  EXPECT_EQ(Norm(Point3{3, 4, 0}), 5.0);
+  EXPECT_EQ(DistanceXY(Point3{0, 0, 99}, Point3{3, 4, -1}), 5.0);
+}
+
+}  // namespace
+}  // namespace dm

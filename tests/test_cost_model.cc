@@ -1,0 +1,223 @@
+#include "dm/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace dm {
+namespace {
+
+std::vector<RTreeNodeExtent> UniformNodes(int n, double node_side,
+                                          double space) {
+  Rng rng(17);
+  std::vector<RTreeNodeExtent> nodes;
+  for (int i = 0; i < n; ++i) {
+    RTreeNodeExtent ext;
+    const double x = rng.Uniform(0, space - node_side);
+    const double y = rng.Uniform(0, space - node_side);
+    const double e = rng.Uniform(0, space - node_side);
+    ext.box = Box::Of(x, y, e, x + node_side, y + node_side,
+                      e + node_side);
+    nodes.push_back(ext);
+  }
+  return nodes;
+}
+
+TEST(CostModelTest, BiggerQueriesCostMore) {
+  const Box space = Box::Of(0, 0, 0, 100, 100, 100);
+  const auto nodes = UniformNodes(200, 10, 100);
+  const double small = EstimateDiskAccesses(
+      nodes, space, Box::Of(0, 0, 0, 10, 10, 10));
+  const double big = EstimateDiskAccesses(
+      nodes, space, Box::Of(0, 0, 0, 50, 50, 50));
+  EXPECT_GT(big, small);
+}
+
+TEST(CostModelTest, ZeroQueryStillPaysNodeOverlap) {
+  // A point query costs sum_i w_i*h_i*d_i > 0: the probability of
+  // hitting each node.
+  const Box space = Box::Of(0, 0, 0, 100, 100, 100);
+  const auto nodes = UniformNodes(100, 10, 100);
+  const double da = EstimateDiskAccesses(
+      nodes, space, Box::Of(5, 5, 5, 5, 5, 5));
+  EXPECT_GT(da, 0.0);
+  EXPECT_NEAR(da, 100 * 0.1 * 0.1 * 0.1, 0.2);
+}
+
+TEST(CostModelTest, SliceBoxCoversTheRightSlice) {
+  const Rect roi = Rect::Of(0, 0, 10, 40);
+  const BaseCube cube{0.25, 0.5, 1.0, 2.0};
+  const Box b = SliceBox(roi, /*gradient_along_y=*/true, cube);
+  EXPECT_EQ(b.lo[1], 10.0);
+  EXPECT_EQ(b.hi[1], 20.0);
+  EXPECT_EQ(b.lo[0], 0.0);
+  EXPECT_EQ(b.hi[0], 10.0);
+  EXPECT_EQ(b.lo[2], 1.0);
+  EXPECT_EQ(b.hi[2], 2.0);
+  const Box bx = SliceBox(roi, /*gradient_along_y=*/false, cube);
+  EXPECT_EQ(bx.lo[0], 2.5);
+  EXPECT_EQ(bx.hi[0], 5.0);
+}
+
+TEST(CostModelTest, FlatPlaneNeverSplits) {
+  const Box space = Box::Of(0, 0, 0, 100, 100, 100);
+  const auto nodes = UniformNodes(300, 8, 100);
+  const auto cubes = OptimizeMultiBase(
+      nodes, space, Rect::Of(0, 0, 50, 50), true,
+      [](double) { return 5.0; }, 64);
+  ASSERT_EQ(cubes.size(), 1u);
+  EXPECT_EQ(cubes[0].t0, 0.0);
+  EXPECT_EQ(cubes[0].t1, 1.0);
+}
+
+TEST(CostModelTest, SteepPlaneSplitsIntoStaircase) {
+  const Box space = Box::Of(0, 0, 0, 100, 100, 100);
+  const auto nodes = UniformNodes(400, 4, 100);
+  const auto cubes = OptimizeMultiBase(
+      nodes, space, Rect::Of(0, 0, 80, 80), true,
+      [](double t) { return 1.0 + 80.0 * t; }, 64);
+  EXPECT_GT(cubes.size(), 1u);
+  // Slices tile [0, 1] in order and e ranges chain continuously.
+  double t = 0.0;
+  for (const BaseCube& c : cubes) {
+    EXPECT_DOUBLE_EQ(c.t0, t);
+    t = c.t1;
+    EXPECT_DOUBLE_EQ(c.e_lo, 1.0 + 80.0 * c.t0);
+    EXPECT_DOUBLE_EQ(c.e_hi, 1.0 + 80.0 * c.t1);
+  }
+  EXPECT_DOUBLE_EQ(t, 1.0);
+  // And the staircase total volume is below the single cube's volume.
+  double staircase = 0.0;
+  for (const BaseCube& c : cubes) {
+    staircase += SliceBox(Rect::Of(0, 0, 80, 80), true, c).Volume();
+  }
+  EXPECT_LT(staircase,
+            Box::FromRect(Rect::Of(0, 0, 80, 80), 1.0, 81.0).Volume());
+}
+
+TEST(CostModelTest, MaxCubesBudgetIsRespected) {
+  const Box space = Box::Of(0, 0, 0, 100, 100, 100);
+  const auto nodes = UniformNodes(400, 2, 100);
+  const auto cubes = OptimizeMultiBase(
+      nodes, space, Rect::Of(0, 0, 90, 90), true,
+      [](double t) { return 90.0 * t + 0.1; }, 4);
+  EXPECT_LE(cubes.size(), 4u);
+}
+
+TEST(CostModelTest, SplitEstimateActuallyImproves) {
+  // The paper's condition (7): when the optimizer splits, the summed
+  // estimate of the halves must be below the whole.
+  const Box space = Box::Of(0, 0, 0, 100, 100, 100);
+  const auto nodes = UniformNodes(400, 4, 100);
+  const Rect roi = Rect::Of(0, 0, 80, 80);
+  auto e_at = [](double t) { return 1.0 + 60.0 * t; };
+  const double whole = EstimateDiskAccesses(
+      nodes, space, SliceBox(roi, true, BaseCube{0, 1, e_at(0), e_at(1)}));
+  const double left = EstimateDiskAccesses(
+      nodes, space,
+      SliceBox(roi, true, BaseCube{0, 0.5, e_at(0), e_at(0.5)}));
+  const double right = EstimateDiskAccesses(
+      nodes, space,
+      SliceBox(roi, true, BaseCube{0.5, 1, e_at(0.5), e_at(1)}));
+  EXPECT_LT(left + right, whole);
+}
+
+
+TEST(EAxisMapTest, IdentityByDefault) {
+  EAxisMap map;
+  EXPECT_TRUE(map.identity());
+  EXPECT_EQ(map.Map(3.5), 3.5);
+  const Box b = Box::Of(0, 0, 1, 2, 2, 9);
+  EXPECT_EQ(map.MapBox(b).hi[2], 9.0);
+}
+
+TEST(EAxisMapTest, QuantileMapIsMonotoneAndNormalized) {
+  // Leaves concentrated near e = 0 with a long tail, like QEM errors.
+  std::vector<RTreeNodeExtent> nodes;
+  for (int i = 0; i < 200; ++i) {
+    RTreeNodeExtent ext;
+    const double e = 0.01 * i * i;  // skewed upward
+    ext.box = Box::Of(0, 0, e, 1, 1, e + 0.1);
+    ext.level = 0;
+    nodes.push_back(ext);
+  }
+  const EAxisMap map = EAxisMap::FromNodeExtents(nodes);
+  EXPECT_FALSE(map.identity());
+  double prev = -1;
+  for (double e = 0; e < 500; e += 7) {
+    const double m = map.Map(e);
+    EXPECT_GE(m, prev);
+    EXPECT_GE(m, 0.0);
+    EXPECT_LE(m, 1.0);
+    prev = m;
+  }
+  // The skew is uniformized: the bottom 1% of the raw range (e <= 4 of
+  // 0..400) holds ~10% of the measure, and the halfway rank sits at
+  // e = 100 (i = 100 of 200).
+  EXPECT_GT(map.Map(4.0), 0.05);
+  EXPECT_NEAR(map.Map(100.0), 0.5, 0.05);
+}
+
+TEST(EAxisMapTest, IgnoresInternalNodes) {
+  std::vector<RTreeNodeExtent> nodes;
+  RTreeNodeExtent internal;
+  internal.box = Box::Of(0, 0, 0, 1, 1, 100);
+  internal.level = 3;
+  nodes.push_back(internal);
+  const EAxisMap map = EAxisMap::FromNodeExtents(nodes);
+  EXPECT_TRUE(map.identity());
+}
+
+TEST(CostModelTest, RecordTermSeesStaircaseSavings) {
+  // Segments heavily skewed toward fine LODs: the record term must
+  // rate a staircase below the single cube even when the page term
+  // alone cannot (the situation that motivated EstimateQueryCost).
+  CostModelInputs inputs;
+  std::vector<RTreeNodeExtent> nodes = UniformNodes(50, 10, 100);
+  inputs.nodes = &nodes;
+  inputs.data_space = Box::Of(0, 0, 0, 100, 100, 100);
+  Rng rng(3);
+  for (int i = 0; i < 4000; ++i) {
+    const double lo = std::pow(rng.NextDouble(), 8.0) * 100.0;
+    inputs.segment_sample.emplace_back(lo, lo + rng.Uniform(0, 2));
+  }
+  inputs.total_records = 100000;
+  inputs.records_per_page = 20;
+
+  const Rect roi = Rect::Of(0, 0, 80, 80);
+  auto e_at = [](double t) { return 0.5 + 60.0 * t; };
+  const double whole = EstimateQueryCost(
+      inputs, SliceBox(roi, true, BaseCube{0, 1, e_at(0), e_at(1)}));
+  const double parts =
+      EstimateQueryCost(
+          inputs, SliceBox(roi, true, BaseCube{0, 0.5, e_at(0), e_at(0.5)})) +
+      EstimateQueryCost(
+          inputs, SliceBox(roi, true, BaseCube{0.5, 1, e_at(0.5), e_at(1)}));
+  EXPECT_LT(parts, whole);
+
+  const auto cubes = OptimizeMultiBase(
+      inputs, roi, true, e_at, 64);
+  EXPECT_GT(cubes.size(), 1u);
+}
+
+TEST(CostModelTest, CatalogOptimizerStillRefusesFlatPlanes) {
+  CostModelInputs inputs;
+  std::vector<RTreeNodeExtent> nodes = UniformNodes(50, 10, 100);
+  inputs.nodes = &nodes;
+  inputs.data_space = Box::Of(0, 0, 0, 100, 100, 100);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double lo = rng.Uniform(0, 90);
+    inputs.segment_sample.emplace_back(lo, lo + 5);
+  }
+  inputs.total_records = 50000;
+  inputs.records_per_page = 20;
+  const auto cubes = OptimizeMultiBase(
+      inputs, Rect::Of(0, 0, 50, 50), true, [](double) { return 30.0; }, 64);
+  EXPECT_EQ(cubes.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dm

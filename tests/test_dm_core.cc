@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "dm/connectivity.h"
+#include "dm/dm_node.h"
+#include "common/rng.h"
+#include "pm/cut_replay.h"
+#include "test_util.h"
+
+namespace dm {
+namespace {
+
+using testing::MakeScene;
+using testing::Scene;
+
+class ConnectivityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scene_ = new Scene(MakeScene(33));
+    conn_ = new std::vector<std::vector<VertexId>>(
+        BuildConnectionLists(scene_->base, scene_->tree, scene_->sr));
+  }
+  static void TearDownTestSuite() {
+    delete conn_;
+    delete scene_;
+  }
+  static Scene* scene_;
+  static std::vector<std::vector<VertexId>>* conn_;
+};
+Scene* ConnectivityTest::scene_ = nullptr;
+std::vector<std::vector<VertexId>>* ConnectivityTest::conn_ = nullptr;
+
+TEST_F(ConnectivityTest, ListsAreSymmetric) {
+  for (VertexId u = 0; u < static_cast<VertexId>(conn_->size()); ++u) {
+    for (VertexId v : (*conn_)[static_cast<size_t>(u)]) {
+      const auto& back = (*conn_)[static_cast<size_t>(v)];
+      EXPECT_TRUE(std::binary_search(back.begin(), back.end(), u))
+          << u << " -> " << v;
+    }
+  }
+}
+
+TEST_F(ConnectivityTest, ConnectedPairsHaveSimilarLod) {
+  // "for any m' in L, m and m' have a similar LOD" (overlapping
+  // intervals), and parent-child pairs can never be connected.
+  const PmTree& tree = scene_->tree;
+  for (VertexId u = 0; u < static_cast<VertexId>(conn_->size()); ++u) {
+    const PmNode& nu = tree.node(u);
+    for (VertexId v : (*conn_)[static_cast<size_t>(u)]) {
+      const PmNode& nv = tree.node(v);
+      EXPECT_LT(std::max(nu.e_low, nv.e_low),
+                std::min(nu.e_high, nv.e_high))
+          << u << " ~ " << v;
+      EXPECT_NE(nu.parent, v);
+      EXPECT_NE(nv.parent, u);
+    }
+  }
+}
+
+TEST_F(ConnectivityTest, CutEdgesMatchQuotientCutExactly) {
+  // THE core Direct Mesh property: at any uniform LOD, the pairs of
+  // cut nodes that list each other are exactly the edges of the
+  // terrain approximation.
+  const PmTree& tree = scene_->tree;
+  for (double frac : {0.0, 0.01, 0.05, 0.15, 0.4, 0.75}) {
+    const double e = frac * tree.max_lod();
+    const QuotientCut cut =
+        ComputeUniformCut(scene_->base, tree, tree.bounds(), e);
+    const auto edge_list = cut.Edges();
+    std::set<std::pair<VertexId, VertexId>> expected(edge_list.begin(),
+                                                     edge_list.end());
+
+    std::set<VertexId> alive(cut.vertices.begin(), cut.vertices.end());
+    std::set<std::pair<VertexId, VertexId>> got;
+    for (VertexId u : cut.vertices) {
+      for (VertexId v : (*conn_)[static_cast<size_t>(u)]) {
+        if (u < v && alive.count(v)) got.emplace(u, v);
+      }
+    }
+    EXPECT_EQ(got, expected) << "at e = " << e;
+  }
+}
+
+TEST_F(ConnectivityTest, SimilarLodMuchSmallerThanClosure) {
+  const ConnectivityStats stats =
+      ComputeConnectivityStats(scene_->base, scene_->tree, *conn_, 256);
+  EXPECT_GT(stats.avg_similar_lod, 2.0);
+  EXPECT_LT(stats.avg_similar_lod, 40.0);
+  // The paper's Section 4 blow-up: the full closure is far larger.
+  EXPECT_GT(stats.avg_total_connections, 2 * stats.avg_similar_lod);
+  EXPECT_GT(stats.sampled_nodes, 0);
+}
+
+TEST(DmNodeTest, CodecRoundTrip) {
+  DmNode n;
+  n.id = 123456789;
+  n.pos = Point3{1.5, -2.25, 77.125};
+  n.e_low = 0.5;
+  n.e_high = 9.75;
+  n.parent = 42;
+  n.child1 = 7;
+  n.child2 = 8;
+  n.wing1 = kInvalidVertex;
+  n.wing2 = 99;
+  n.connections = {1, 5, 7, 20000000000LL};
+
+  std::vector<uint8_t> buf;
+  n.EncodeTo(&buf);
+  EXPECT_EQ(buf.size(), n.EncodedSize());
+  auto decoded_or = DmNode::Decode(buf.data(), static_cast<uint32_t>(buf.size()));
+  ASSERT_TRUE(decoded_or.ok());
+  const DmNode& d = decoded_or.value();
+  EXPECT_EQ(d.id, n.id);
+  EXPECT_EQ(d.pos, n.pos);
+  EXPECT_EQ(d.e_low, n.e_low);
+  EXPECT_EQ(d.e_high, n.e_high);
+  EXPECT_EQ(d.parent, n.parent);
+  EXPECT_EQ(d.child1, n.child1);
+  EXPECT_EQ(d.child2, n.child2);
+  EXPECT_EQ(d.wing1, n.wing1);
+  EXPECT_EQ(d.wing2, n.wing2);
+  EXPECT_EQ(d.connections, n.connections);
+}
+
+TEST(DmNodeTest, CodecPreservesInfiniteTop) {
+  DmNode n;
+  n.id = 1;
+  n.e_high = std::numeric_limits<double>::infinity();
+  std::vector<uint8_t> buf;
+  n.EncodeTo(&buf);
+  auto d = DmNode::Decode(buf.data(), static_cast<uint32_t>(buf.size()));
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(std::isinf(d.value().e_high));
+}
+
+TEST(DmNodeTest, DecodeRejectsTruncation) {
+  DmNode n;
+  n.id = 1;
+  n.connections = {2, 3};
+  std::vector<uint8_t> buf;
+  n.EncodeTo(&buf);
+  EXPECT_FALSE(DmNode::Decode(buf.data(), 10).ok());
+  EXPECT_FALSE(
+      DmNode::Decode(buf.data(), static_cast<uint32_t>(buf.size() - 8)).ok());
+}
+
+TEST(DmNodeTest, IntervalPredicates) {
+  DmNode n;
+  n.e_low = 2.0;
+  n.e_high = 5.0;
+  EXPECT_TRUE(n.AliveAt(2.0));
+  EXPECT_TRUE(n.AliveAt(4.999));
+  EXPECT_FALSE(n.AliveAt(5.0));
+  EXPECT_FALSE(n.AliveAt(1.999));
+  EXPECT_TRUE(n.IntervalOverlaps(4.0, 10.0));
+  EXPECT_TRUE(n.IntervalOverlaps(0.0, 2.0));
+  EXPECT_FALSE(n.IntervalOverlaps(5.0, 10.0));  // e_high exclusive
+}
+
+
+TEST(DmNodeTest, CompressedCodecRoundTrip) {
+  DmNode n;
+  n.id = 5000;
+  n.pos = Point3{-3.5, 2.25, 817.0};
+  n.e_low = 1.25;
+  n.e_high = 77.0;
+  n.parent = 5204;
+  n.child1 = 4810;
+  n.child2 = 4999;
+  n.wing1 = kInvalidVertex;
+  n.wing2 = 5001;
+  n.connections = {4321, 4999, 5001, 5002, 6100};
+
+  std::vector<uint8_t> buf;
+  n.EncodeCompressedTo(&buf);
+  // Compression must actually compress.
+  EXPECT_LT(buf.size(), n.EncodedSize());
+  auto d_or =
+      DmNode::DecodeCompressed(buf.data(), static_cast<uint32_t>(buf.size()));
+  ASSERT_TRUE(d_or.ok()) << d_or.status().ToString();
+  const DmNode& d = d_or.value();
+  EXPECT_EQ(d.id, n.id);
+  EXPECT_EQ(d.pos, n.pos);
+  EXPECT_EQ(d.e_low, n.e_low);
+  EXPECT_EQ(d.e_high, n.e_high);
+  EXPECT_EQ(d.parent, n.parent);
+  EXPECT_EQ(d.child1, n.child1);
+  EXPECT_EQ(d.child2, n.child2);
+  EXPECT_EQ(d.wing1, n.wing1);
+  EXPECT_EQ(d.wing2, n.wing2);
+  EXPECT_EQ(d.connections, n.connections);
+}
+
+TEST(DmNodeTest, CompressedCodecPreservesInfinityAndEmptyLists) {
+  DmNode n;
+  n.id = 0;
+  n.e_high = std::numeric_limits<double>::infinity();
+  std::vector<uint8_t> buf;
+  n.EncodeCompressedTo(&buf);
+  auto d_or =
+      DmNode::DecodeCompressed(buf.data(), static_cast<uint32_t>(buf.size()));
+  ASSERT_TRUE(d_or.ok());
+  EXPECT_TRUE(std::isinf(d_or.value().e_high));
+  EXPECT_TRUE(d_or.value().connections.empty());
+}
+
+TEST(DmNodeTest, CompressedDecodeRejectsCorruption) {
+  DmNode n;
+  n.id = 99;
+  n.connections = {1, 2, 3};
+  std::vector<uint8_t> buf;
+  n.EncodeCompressedTo(&buf);
+  EXPECT_FALSE(DmNode::DecodeCompressed(buf.data(), 3).ok());
+  EXPECT_FALSE(
+      DmNode::DecodeCompressed(buf.data(),
+                               static_cast<uint32_t>(buf.size() - 1))
+          .ok());
+  // Trailing garbage is rejected too.
+  buf.push_back(0);
+  EXPECT_FALSE(
+      DmNode::DecodeCompressed(buf.data(), static_cast<uint32_t>(buf.size()))
+          .ok());
+}
+
+TEST(DmNodeTest, CompressedCodecRandomizedProperty) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    DmNode n;
+    n.id = rng.UniformInt(0, 1 << 20);
+    n.pos = Point3{rng.Uniform(-1e4, 1e4), rng.Uniform(-1e4, 1e4),
+                   rng.Uniform(-1e4, 1e4)};
+    n.e_low = rng.Uniform(0, 1e6);
+    n.e_high = n.e_low + rng.Uniform(0, 1e6);
+    auto maybe_link = [&]() {
+      return rng.NextBelow(4) == 0 ? kInvalidVertex
+                                   : rng.UniformInt(0, 1 << 21);
+    };
+    n.parent = maybe_link();
+    n.child1 = maybe_link();
+    n.child2 = maybe_link();
+    n.wing1 = maybe_link();
+    n.wing2 = maybe_link();
+    const int k = static_cast<int>(rng.NextBelow(30));
+    for (int i = 0; i < k; ++i) {
+      n.connections.push_back(rng.UniformInt(0, 1 << 21));
+    }
+    std::sort(n.connections.begin(), n.connections.end());
+    n.connections.erase(
+        std::unique(n.connections.begin(), n.connections.end()),
+        n.connections.end());
+
+    std::vector<uint8_t> buf;
+    n.EncodeCompressedTo(&buf);
+    auto d_or = DmNode::DecodeCompressed(buf.data(),
+                                         static_cast<uint32_t>(buf.size()));
+    ASSERT_TRUE(d_or.ok()) << "trial " << trial;
+    EXPECT_EQ(d_or.value().connections, n.connections);
+    EXPECT_EQ(d_or.value().parent, n.parent);
+    EXPECT_EQ(d_or.value().wing1, n.wing1);
+  }
+}
+
+}  // namespace
+}  // namespace dm

@@ -1,0 +1,181 @@
+#include "dm/dm_store.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.h"
+
+namespace dm {
+namespace {
+
+using testing::MakeScene;
+using testing::OpenTempEnv;
+using testing::Scene;
+
+class DmStoreTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scene_ = new Scene(MakeScene(33));
+    path_ = new std::string(testing::TempDbPath("dm_store"));
+    auto env_or = DbEnv::Open(*path_, {});
+    ASSERT_TRUE(env_or.ok());
+    env_ = env_or.value().release();
+    auto store_or =
+        DmStore::Build(env_, scene_->base, scene_->tree, scene_->sr);
+    ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+    store_ = new DmStore(std::move(store_or).value());
+  }
+  static void TearDownTestSuite() {
+    delete store_;
+    delete env_;
+    std::remove(path_->c_str());
+    delete path_;
+    delete scene_;
+  }
+  static Scene* scene_;
+  static std::string* path_;
+  static DbEnv* env_;
+  static DmStore* store_;
+};
+Scene* DmStoreTest::scene_ = nullptr;
+std::string* DmStoreTest::path_ = nullptr;
+DbEnv* DmStoreTest::env_ = nullptr;
+DmStore* DmStoreTest::store_ = nullptr;
+
+TEST_F(DmStoreTest, MetaReflectsTheTree) {
+  const DmMeta& meta = store_->meta();
+  EXPECT_EQ(meta.num_nodes, scene_->tree.num_nodes());
+  EXPECT_EQ(meta.num_leaves, scene_->tree.num_leaves());
+  EXPECT_EQ(meta.rtree_size, scene_->tree.num_nodes());
+  EXPECT_DOUBLE_EQ(meta.max_lod, scene_->tree.max_lod());
+  EXPECT_FALSE(meta.bounds.empty());
+}
+
+TEST_F(DmStoreTest, EveryNodeIsRetrievableThroughTheIndex) {
+  // Fetch everything via one huge range query; every PM node must come
+  // back exactly once with matching fields.
+  std::vector<uint64_t> rids;
+  ASSERT_TRUE(store_->rtree()
+                  .RangeQuery(Box::Of(-1e30, -1e30, -1e30, 1e30, 1e30, 1e30),
+                              &rids)
+                  .ok());
+  ASSERT_EQ(static_cast<int64_t>(rids.size()), scene_->tree.num_nodes());
+  std::set<VertexId> seen;
+  for (uint64_t packed : rids) {
+    auto node_or = store_->FetchNode(RecordId::Unpack(packed));
+    ASSERT_TRUE(node_or.ok());
+    const DmNode& n = node_or.value();
+    EXPECT_TRUE(seen.insert(n.id).second) << "duplicate " << n.id;
+    const PmNode& expect = scene_->tree.node(n.id);
+    EXPECT_EQ(n.pos, expect.pos);
+    EXPECT_EQ(n.e_low, expect.e_low);
+    EXPECT_EQ(n.parent, expect.parent);
+    EXPECT_EQ(n.child1, expect.child1);
+    EXPECT_EQ(n.wing1, expect.wing1);
+  }
+}
+
+TEST_F(DmStoreTest, ReopensFromMeta) {
+  auto reopened_or = DmStore::Open(env_, store_->meta());
+  ASSERT_TRUE(reopened_or.ok());
+  DmStore& reopened = reopened_or.value();
+  EXPECT_EQ(reopened.meta().num_nodes, store_->meta().num_nodes);
+  std::vector<uint64_t> rids;
+  ASSERT_TRUE(reopened.rtree()
+                  .RangeQuery(Box::FromRect(scene_->tree.bounds(), 0.0, 0.0),
+                              &rids)
+                  .ok());
+  EXPECT_FALSE(rids.empty());
+}
+
+TEST_F(DmStoreTest, CatalogIsLoaded) {
+  EXPECT_FALSE(store_->node_extents().empty());
+  EXPECT_FALSE(store_->data_space().empty());
+  const CostModelInputs inputs = store_->cost_inputs();
+  EXPECT_EQ(inputs.nodes, &store_->node_extents());
+  EXPECT_EQ(inputs.total_records, scene_->tree.num_nodes());
+  EXPECT_GT(inputs.records_per_page, 1.0);
+  EXPECT_FALSE(inputs.segment_sample.empty());
+  for (const auto& [lo, hi] : inputs.segment_sample) {
+    EXPECT_LE(lo, hi);
+  }
+}
+
+TEST_F(DmStoreTest, EAxisMapIsMonotone) {
+  const EAxisMap& map = store_->e_axis_map();
+  EXPECT_FALSE(map.identity());
+  double prev = -1.0;
+  for (double e = 0.0; e <= store_->meta().max_lod;
+       e += store_->meta().max_lod / 64.0) {
+    const double m = map.Map(e);
+    EXPECT_GE(m, prev);
+    EXPECT_GE(m, 0.0);
+    EXPECT_LE(m, 1.0);
+    prev = m;
+  }
+}
+
+TEST_F(DmStoreTest, ClusteredLayoutKeepsCoRetrievedRecordsTogether) {
+  // A plane query's records must hit far fewer heap pages than their
+  // count (the clustering property the store exists for).
+  ASSERT_TRUE(env_->FlushAll().ok());
+  const double e = 0.0;  // full-resolution cut: plenty of records
+  std::vector<uint64_t> rids;
+  ASSERT_TRUE(store_->rtree()
+                  .RangeQuery(Box::FromRect(scene_->tree.bounds(), e, e),
+                              &rids)
+                  .ok());
+  ASSERT_GT(rids.size(), 50u);
+  std::set<PageId> pages;
+  for (uint64_t packed : rids) {
+    pages.insert(RecordId::Unpack(packed).page);
+  }
+  EXPECT_LT(pages.size(), rids.size() / 3);
+}
+
+
+TEST_F(DmStoreTest, CompressedStoreAnswersIdentically) {
+  // Build a second store with compressed records in its own file; every
+  // query must return byte-identical results, with fewer heap pages.
+  auto env2_or = DbEnv::Open(testing::TempDbPath("dm_store_comp"), {});
+  ASSERT_TRUE(env2_or.ok());
+  auto env2 = std::move(env2_or).value();
+  DmStoreOptions options;
+  options.compress_records = true;
+  auto comp_or =
+      DmStore::Build(env2.get(), scene_->base, scene_->tree, scene_->sr,
+                     options);
+  ASSERT_TRUE(comp_or.ok()) << comp_or.status().ToString();
+  DmStore& comp = comp_or.value();
+  EXPECT_TRUE(comp.meta().compressed);
+  EXPECT_LT(comp.heap().num_pages(), store_->heap().num_pages());
+
+  const double e = scene_->tree.max_lod() * 0.02;
+  const Box plane = Box::FromRect(scene_->tree.bounds(), e, e);
+  std::vector<uint64_t> flat_rids;
+  std::vector<uint64_t> comp_rids;
+  ASSERT_TRUE(store_->rtree().RangeQuery(plane, &flat_rids).ok());
+  ASSERT_TRUE(comp.rtree().RangeQuery(plane, &comp_rids).ok());
+  ASSERT_EQ(flat_rids.size(), comp_rids.size());
+
+  std::set<VertexId> flat_ids;
+  std::set<VertexId> comp_ids;
+  for (uint64_t rid : flat_rids) {
+    flat_ids.insert(
+        std::move(store_->FetchNode(RecordId::Unpack(rid))).ValueOrDie().id);
+  }
+  for (uint64_t rid : comp_rids) {
+    const DmNode n =
+        std::move(comp.FetchNode(RecordId::Unpack(rid))).ValueOrDie();
+    comp_ids.insert(n.id);
+    // Cross-check full record content against the flat store's tree.
+    const PmNode& expect = scene_->tree.node(n.id);
+    EXPECT_EQ(n.pos, expect.pos);
+    EXPECT_EQ(n.parent, expect.parent);
+  }
+  EXPECT_EQ(flat_ids, comp_ids);
+}
+
+}  // namespace
+}  // namespace dm

@@ -1,0 +1,131 @@
+#include "baseline/hdov/hdov_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.h"
+
+namespace dm {
+namespace {
+
+using testing::MakeScene;
+using testing::OpenTempEnv;
+using testing::Scene;
+
+class HdovTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scene_ = new Scene(MakeScene(65, /*seed=*/21, /*crater=*/true));
+    // Small pages so that disk-access differences are measurable at
+    // this dataset size.
+    env_ = OpenTempEnv("hdov", DbOptions{.page_size = 512,
+                                         .pool_pages = 4096})
+               .release();
+    HdovOptions opt;
+    opt.grid_side = 16;
+    opt.fanout = 16;
+    auto t_or = HdovTree::Build(env_, scene_->base, scene_->tree, opt);
+    ASSERT_TRUE(t_or.ok()) << t_or.status().ToString();
+    tree_ = new HdovTree(std::move(t_or).value());
+  }
+  static void TearDownTestSuite() {
+    delete tree_;
+    delete env_;
+    delete scene_;
+  }
+  static Scene* scene_;
+  static DbEnv* env_;
+  static HdovTree* tree_;
+};
+Scene* HdovTest::scene_ = nullptr;
+DbEnv* HdovTest::env_ = nullptr;
+HdovTree* HdovTest::tree_ = nullptr;
+
+TEST_F(HdovTest, BuildProducesDirectory) {
+  // 16x16 tile grid with fanout 16: 1 + 16 + 256 = 273 nodes.
+  EXPECT_EQ(tree_->meta().num_nodes, 273);
+}
+
+TEST_F(HdovTest, CoarseQueryFetchesFewPointsFineFetchesMany) {
+  const Rect roi = scene_->tree.bounds();
+  auto coarse_or = tree_->Uniform(roi, scene_->tree.max_lod());
+  auto fine_or = tree_->Uniform(roi, 0.0);
+  ASSERT_TRUE(coarse_or.ok());
+  ASSERT_TRUE(fine_or.ok());
+  EXPECT_LT(coarse_or.value().vertices.size(),
+            fine_or.value().vertices.size());
+  // Full-resolution query returns (nearly) every original point —
+  // leaves whose collapse had exactly zero error are represented by
+  // their parent even at e = 0.
+  EXPECT_GE(static_cast<int64_t>(fine_or.value().vertices.size()),
+            scene_->tree.num_leaves() * 9 / 10);
+  EXPECT_LE(static_cast<int64_t>(fine_or.value().vertices.size()),
+            scene_->tree.num_leaves());
+}
+
+TEST_F(HdovTest, ResultsRespectTheRoi) {
+  const Rect b = scene_->tree.bounds();
+  const Rect roi = Rect::Of(b.lo_x + b.width() * 0.3,
+                            b.lo_y + b.height() * 0.3,
+                            b.lo_x + b.width() * 0.6,
+                            b.lo_y + b.height() * 0.6);
+  auto r_or = tree_->Uniform(roi, scene_->tree.mean_lod());
+  ASSERT_TRUE(r_or.ok());
+  ASSERT_FALSE(r_or.value().vertices.empty());
+  for (const Point3& p : r_or.value().positions) {
+    EXPECT_TRUE(roi.Contains(p.x, p.y));
+  }
+}
+
+TEST_F(HdovTest, DiskAccessesGrowWithRoi) {
+  const Rect b = scene_->tree.bounds();
+  // Full resolution: QEM error scales are so skewed that even a small
+  // percentage of the max LOD is already coarser than the root
+  // approximation; e = 0 forces tile-level fetches, whose count must
+  // scale with the ROI.
+  const double e = 0.0;
+  ASSERT_TRUE(env_->FlushAll().ok());
+  auto small_or = tree_->Uniform(
+      Rect::Of(b.lo_x, b.lo_y, b.lo_x + b.width() * 0.2,
+               b.lo_y + b.height() * 0.2),
+      e);
+  ASSERT_TRUE(env_->FlushAll().ok());
+  auto large_or = tree_->Uniform(b, e);
+  ASSERT_TRUE(small_or.ok());
+  ASSERT_TRUE(large_or.ok());
+  EXPECT_LT(small_or.value().stats.disk_accesses,
+            large_or.value().stats.disk_accesses);
+}
+
+TEST_F(HdovTest, ViewDependentFetchesLessThanUniformFine) {
+  const Rect roi = scene_->tree.bounds();
+  ViewQuery q;
+  q.roi = roi;
+  q.e_min = 0.0;  // full resolution at the viewer
+  q.e_max = 0.8 * scene_->tree.max_lod();
+  ASSERT_TRUE(env_->FlushAll().ok());
+  auto vd_or = tree_->ViewDependent(
+      q, Point2{(roi.lo_x + roi.hi_x) / 2, roi.lo_y});
+  ASSERT_TRUE(vd_or.ok());
+  ASSERT_TRUE(env_->FlushAll().ok());
+  auto fine_or = tree_->Uniform(roi, q.e_min);
+  ASSERT_TRUE(fine_or.ok());
+  EXPECT_LT(vd_or.value().stats.disk_accesses,
+            fine_or.value().stats.disk_accesses);
+}
+
+TEST_F(HdovTest, ReopensFromMeta) {
+  auto reopened_or = HdovTree::Open(env_, tree_->meta());
+  ASSERT_TRUE(reopened_or.ok());
+  auto& reopened = reopened_or.value();
+  const Rect roi = scene_->tree.bounds();
+  auto a_or = tree_->Uniform(roi, scene_->tree.mean_lod());
+  auto b_or = reopened.Uniform(roi, scene_->tree.mean_lod());
+  ASSERT_TRUE(a_or.ok());
+  ASSERT_TRUE(b_or.ok());
+  EXPECT_EQ(a_or.value().vertices.size(), b_or.value().vertices.size());
+}
+
+}  // namespace
+}  // namespace dm

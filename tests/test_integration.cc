@@ -1,0 +1,149 @@
+// End-to-end checks of the paper's headline comparisons on a small
+// dataset: DM must beat the PM baseline on disk accesses, the
+// multi-base optimization must not lose to single-base on steep query
+// planes, and all methods must agree on what terrain they return.
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <set>
+
+#include "workload/bench_context.h"
+
+namespace dm {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new std::string("/tmp/dm_integration_" +
+                           std::to_string(::getpid()));
+    ::mkdir(dir_->c_str(), 0755);
+    DatasetSpec spec;
+    spec.name = "integ";
+    spec.side = 65;
+    spec.seed = 77;
+    spec.crater = true;
+    auto ctx_or = BenchContext::Create(*dir_, spec);
+    ASSERT_TRUE(ctx_or.ok()) << ctx_or.status().ToString();
+    ctx_ = new BenchContext(std::move(ctx_or).value());
+  }
+  static void TearDownTestSuite() {
+    delete ctx_;
+    delete dir_;
+  }
+  static std::string* dir_;
+  static BenchContext* ctx_;
+};
+std::string* IntegrationTest::dir_ = nullptr;
+BenchContext* IntegrationTest::ctx_ = nullptr;
+
+TEST_F(IntegrationTest, DmBeatsPmOnUniformQueriesOnAverage) {
+  const auto rois = ctx_->SampleRois(0.1, 8);
+  const double e = ctx_->dataset().mean_lod;
+  double dm = 0;
+  double pm = 0;
+  for (const Rect& roi : rois) {
+    dm += static_cast<double>(
+        std::move(ctx_->RunUniform(Method::kDmSingleBase, roi, e))
+            .ValueOrDie()
+            .disk_accesses);
+    pm += static_cast<double>(
+        std::move(ctx_->RunUniform(Method::kPm, roi, e))
+            .ValueOrDie()
+            .disk_accesses);
+  }
+  EXPECT_LT(dm, pm) << "DM should beat the PM baseline (paper Fig. 6)";
+}
+
+TEST_F(IntegrationTest, DmBeatsPmOnViewDependentQueries) {
+  const auto rois = ctx_->SampleRois(0.15, 6);
+  double dm_sb = 0;
+  double dm_mb = 0;
+  double pm = 0;
+  for (const Rect& roi : rois) {
+    const ViewQuery q = ViewQuery::FromAngle(
+        roi, 0.01 * ctx_->dataset().max_lod, 0.5, ctx_->dataset().max_lod);
+    dm_sb += static_cast<double>(
+        std::move(ctx_->RunView(Method::kDmSingleBase, q))
+            .ValueOrDie()
+            .disk_accesses);
+    dm_mb += static_cast<double>(
+        std::move(ctx_->RunView(Method::kDmMultiBase, q))
+            .ValueOrDie()
+            .disk_accesses);
+    pm += static_cast<double>(std::move(ctx_->RunView(Method::kPm, q))
+                                  .ValueOrDie()
+                                  .disk_accesses);
+  }
+  EXPECT_LT(dm_sb, pm) << "single-base must beat PM (paper Fig. 8)";
+  EXPECT_LE(dm_mb, dm_sb * 1.05)
+      << "multi-base must not lose to single-base";
+}
+
+TEST_F(IntegrationTest, DiskAccessesGrowWithRoiForAllMethods) {
+  const double e = ctx_->dataset().mean_lod;
+  for (Method m : {Method::kDmSingleBase, Method::kPm, Method::kHdov}) {
+    double prev = 0;
+    for (double frac : {0.02, 0.1, 0.3}) {
+      const auto rois = ctx_->SampleRois(frac, 5);
+      double total = 0;
+      for (const Rect& roi : rois) {
+        total += static_cast<double>(std::move(ctx_->RunUniform(m, roi, e))
+                                         .ValueOrDie()
+                                         .disk_accesses);
+      }
+      EXPECT_GE(total, prev * 0.8) << MethodName(m) << " at " << frac;
+      prev = total;
+    }
+  }
+}
+
+TEST_F(IntegrationTest, DiskAccessesShrinkWithCoarserLod) {
+  const auto rois = ctx_->SampleRois(0.15, 5);
+  for (Method m : {Method::kDmSingleBase, Method::kPm}) {
+    double fine = 0;
+    double coarse = 0;
+    for (const Rect& roi : rois) {
+      fine += static_cast<double>(
+          std::move(ctx_->RunUniform(m, roi, 0.02 * ctx_->dataset().max_lod))
+              .ValueOrDie()
+              .disk_accesses);
+      coarse += static_cast<double>(
+          std::move(ctx_->RunUniform(m, roi, 0.6 * ctx_->dataset().max_lod))
+              .ValueOrDie()
+              .disk_accesses);
+    }
+    EXPECT_LT(coarse, fine) << MethodName(m);
+  }
+}
+
+TEST_F(IntegrationTest, SimilarLodListsAreSmall) {
+  // Section 4's design premise at our scale: similar-LOD connection
+  // lists stay around a dozen entries while the full closure blows up.
+  const ConnectivityStats& s = ctx_->dataset().conn_stats;
+  EXPECT_GT(s.avg_similar_lod, 4.0);
+  EXPECT_LT(s.avg_similar_lod, 30.0);
+  EXPECT_GT(s.avg_total_connections, s.avg_similar_lod * 2);
+}
+
+TEST_F(IntegrationTest, ThetaMaxAngleSweepIsMonotoneForSingleBase) {
+  const Rect roi = ctx_->SampleRois(0.15, 1)[0];
+  const double e_min = 0.01 * ctx_->dataset().max_lod;
+  double prev = -1;
+  for (double frac : {0.2, 0.5, 0.8}) {
+    const ViewQuery q =
+        ViewQuery::FromAngle(roi, e_min, frac, ctx_->dataset().max_lod);
+    const auto stats =
+        std::move(ctx_->RunView(Method::kDmSingleBase, q)).ValueOrDie();
+    // Larger angle => taller cube => at least as much data (paper
+    // Fig. 8(c)/(f): "performance of the DM decreases as the angle
+    // increases").
+    EXPECT_GE(static_cast<double>(stats.disk_accesses), prev);
+    prev = static_cast<double>(stats.disk_accesses);
+  }
+}
+
+}  // namespace
+}  // namespace dm

@@ -1,0 +1,177 @@
+#include "index/lodquadtree/lod_quadtree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace dm {
+namespace {
+
+class LodQuadtreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = dm::testing::OpenTempEnv(
+        "lodqt", DbOptions{.page_size = 512, .pool_pages = 256});
+    tree_.emplace(std::move(LodQuadtree::Create(env_.get(),
+                                                Rect::Of(0, 0, 100, 100),
+                                                10.0))
+                      .ValueOrDie());
+  }
+  std::unique_ptr<DbEnv> env_;
+  std::optional<LodQuadtree> tree_;
+};
+
+TEST_F(LodQuadtreeTest, EmptyTreeAnswersEmpty) {
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(
+      tree_->RangeQuery(Box::Of(0, 0, 0, 100, 100, 10), &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(LodQuadtreeTest, RangeQueryMatchesBruteForceOnSkewedData) {
+  Rng rng(99);
+  struct Pt {
+    double x, y, e;
+  };
+  std::vector<Pt> pts;
+  // LOD values severely skewed toward 0, like normalized QEM errors.
+  for (uint64_t i = 0; i < 3000; ++i) {
+    Pt p{rng.Uniform(0, 100), rng.Uniform(0, 100),
+         std::pow(rng.NextDouble(), 6.0) * 10.0};
+    ASSERT_TRUE(tree_->Insert(p.x, p.y, p.e, i).ok());
+    pts.push_back(p);
+  }
+  EXPECT_EQ(tree_->size(), 3000);
+
+  for (int q = 0; q < 25; ++q) {
+    const double x0 = rng.Uniform(0, 80);
+    const double y0 = rng.Uniform(0, 80);
+    const double e0 = rng.Uniform(0, 5);
+    const Box query =
+        Box::Of(x0, y0, e0, x0 + 20, y0 + 20, e0 + rng.Uniform(0, 5));
+    std::vector<uint64_t> got;
+    ASSERT_TRUE(tree_->RangeQuery(query, &got).ok());
+    std::set<uint64_t> expected;
+    for (uint64_t i = 0; i < pts.size(); ++i) {
+      const Pt& p = pts[static_cast<size_t>(i)];
+      if (query.Contains(p.x, p.y, p.e)) expected.insert(i);
+    }
+    EXPECT_EQ(std::set<uint64_t>(got.begin(), got.end()), expected)
+        << "query " << q;
+    EXPECT_EQ(got.size(), expected.size());
+  }
+}
+
+TEST_F(LodQuadtreeTest, HandlesMassiveDuplicatesViaOverflowChains) {
+  for (uint64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(tree_->Insert(50.0, 50.0, 1.0, i).ok());
+  }
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(
+      tree_->RangeQuery(Box::Of(49, 49, 0.5, 51, 51, 1.5), &out).ok());
+  EXPECT_EQ(out.size(), 500u);
+  // And a disjoint query still excludes them.
+  out.clear();
+  ASSERT_TRUE(tree_->RangeQuery(Box::Of(0, 0, 0, 10, 10, 10), &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(LodQuadtreeTest, SplitsAdaptivelyOnLodSkew) {
+  // All points at nearly the same (x, y) but spread over e: the tree
+  // must split in the e dimension instead of cycling on quadrants.
+  Rng rng(5);
+  for (uint64_t i = 0; i < 400; ++i) {
+    ASSERT_TRUE(tree_->Insert(50.0 + rng.Uniform(-0.001, 0.001),
+                              50.0 + rng.Uniform(-0.001, 0.001),
+                              rng.Uniform(0, 10.0), i)
+                    .ok());
+  }
+  int64_t internal = 0;
+  int64_t leaf = 0;
+  ASSERT_TRUE(tree_->CountNodes(&internal, &leaf).ok());
+  EXPECT_GT(internal, 0);
+  // Narrow e-slab query returns the right subset.
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(
+      tree_->RangeQuery(Box::Of(0, 0, 2.0, 100, 100, 3.0), &out).ok());
+  EXPECT_GT(out.size(), 10u);
+  EXPECT_LT(out.size(), 200u);
+}
+
+TEST_F(LodQuadtreeTest, StreamingEntriesExposeCoordinates) {
+  ASSERT_TRUE(tree_->Insert(10, 20, 3, 1234).ok());
+  bool seen = false;
+  ASSERT_TRUE(tree_->RangeQueryEntries(
+                     Box::Of(0, 0, 0, 100, 100, 10),
+                     [&](double x, double y, double e, uint64_t payload) {
+                       EXPECT_EQ(x, 10.0);
+                       EXPECT_EQ(y, 20.0);
+                       EXPECT_EQ(e, 3.0);
+                       EXPECT_EQ(payload, 1234u);
+                       seen = true;
+                       return true;
+                     })
+                  .ok());
+  EXPECT_TRUE(seen);
+}
+
+
+TEST(ClusterOrderTest, IsAPermutation) {
+  Rng rng(13);
+  std::vector<LodQuadtree::Point> pts;
+  for (int i = 0; i < 2000; ++i) {
+    pts.push_back(LodQuadtree::Point{rng.Uniform(0, 100),
+                                     rng.Uniform(0, 100),
+                                     rng.Uniform(0, 10)});
+  }
+  const auto order =
+      LodQuadtree::ClusterOrder(pts, Rect::Of(0, 0, 100, 100), 10.0, 14);
+  ASSERT_EQ(order.size(), pts.size());
+  std::vector<bool> seen(pts.size(), false);
+  for (size_t i : order) {
+    ASSERT_LT(i, pts.size());
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+}
+
+TEST(ClusterOrderTest, GroupsSpatially) {
+  // Consecutive runs of the order must span small sub-regions.
+  Rng rng(17);
+  std::vector<LodQuadtree::Point> pts;
+  for (int i = 0; i < 4096; ++i) {
+    pts.push_back(LodQuadtree::Point{rng.Uniform(0, 100),
+                                     rng.Uniform(0, 100),
+                                     std::pow(rng.NextDouble(), 6.0) * 10});
+  }
+  const uint32_t cap = 16;
+  const auto order =
+      LodQuadtree::ClusterOrder(pts, Rect::Of(0, 0, 100, 100), 10.0, cap);
+  double clustered_area = 0;
+  int runs = 0;
+  for (size_t i = 0; i < order.size(); i += cap) {
+    Rect mbr;
+    for (size_t j = i; j < std::min(order.size(), i + cap); ++j) {
+      mbr.ExpandToInclude(pts[order[j]].x, pts[order[j]].y);
+    }
+    clustered_area += mbr.Area();
+    ++runs;
+  }
+  // Average run footprint far below the whole square.
+  EXPECT_LT(clustered_area / runs, 100.0 * 100.0 / 20.0);
+}
+
+TEST(ClusterOrderTest, HandlesIdenticalPoints) {
+  std::vector<LodQuadtree::Point> pts(500,
+                                      LodQuadtree::Point{5.0, 5.0, 1.0});
+  const auto order =
+      LodQuadtree::ClusterOrder(pts, Rect::Of(0, 0, 10, 10), 2.0, 8);
+  EXPECT_EQ(order.size(), pts.size());
+}
+
+}  // namespace
+}  // namespace dm

@@ -1,0 +1,352 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "common/rng.h"
+#include "mesh/adjacency.h"
+#include "mesh/delaunay.h"
+#include "mesh/extract.h"
+#include "mesh/obj_io.h"
+#include "mesh/render.h"
+#include "mesh/triangle_mesh.h"
+#include "mesh/validate.h"
+#include "test_util.h"
+
+namespace dm {
+namespace {
+
+TEST(TriangulateDemTest, CountsMatchGrid) {
+  DemGrid g(5, 4);
+  const TriangleMesh mesh = TriangulateDem(g);
+  EXPECT_EQ(mesh.num_vertices(), 20);
+  EXPECT_EQ(mesh.num_triangles(), 2 * 4 * 3);
+}
+
+TEST(TriangulateDemTest, TrianglesAreCcwAndValid) {
+  const DemGrid g = GenerateFractalDem({.side = 17, .seed = 2});
+  const TriangleMesh mesh = TriangulateDem(g);
+  for (const Triangle& t : mesh.triangles()) {
+    const Point3& a = mesh.vertex(t[0]);
+    const Point3& b = mesh.vertex(t[1]);
+    const Point3& c = mesh.vertex(t[2]);
+    const double cross =
+        (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+    EXPECT_GT(cross, 0.0);
+  }
+}
+
+TEST(TriangulateDemTest, IsATriangulatedDisk) {
+  const DemGrid g = GenerateFractalDem({.side = 9, .seed = 2});
+  const TriangleMesh mesh = TriangulateDem(g);
+  std::vector<VertexId> ids(static_cast<size_t>(mesh.num_vertices()));
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<VertexId>(i);
+  const MeshStats stats =
+      ComputeMeshStats(ids, mesh.vertices(), mesh.triangles());
+  EXPECT_TRUE(stats.IsManifold()) << stats.ToString();
+  // Euler characteristic of a disk (triangles only): V - E + F = 1.
+  EXPECT_EQ(stats.euler_characteristic, 1);
+}
+
+TEST(AdjacencyMeshTest, BuildsSymmetricAdjacency) {
+  DemGrid g(3, 3);
+  const TriangleMesh mesh = TriangulateDem(g);
+  AdjacencyMesh adj(mesh);
+  EXPECT_EQ(adj.num_alive(), 9);
+  for (VertexId u = 0; u < 9; ++u) {
+    for (VertexId v : adj.neighbors(u)) {
+      EXPECT_TRUE(adj.HasEdge(v, u));
+    }
+  }
+  // Grid corner has 2 or 3 neighbours depending on the diagonal.
+  EXPECT_GE(adj.neighbors(0).size(), 2u);
+}
+
+TEST(AdjacencyMeshTest, CollapseRewiresNeighbourhood) {
+  DemGrid g(3, 3);
+  const TriangleMesh mesh = TriangulateDem(g);
+  AdjacencyMesh adj(mesh);
+  const VertexId u = 4;  // center
+  const VertexId v = adj.neighbors(u)[0];
+  ASSERT_TRUE(adj.CanCollapse(u, v));
+  const auto commons = adj.CommonNeighbors(u, v);
+  const CollapseRecord rec = adj.Collapse(u, v, Point3{1, 1, 0});
+  EXPECT_EQ(rec.child1, u);
+  EXPECT_EQ(rec.child2, v);
+  EXPECT_FALSE(adj.IsAlive(u));
+  EXPECT_FALSE(adj.IsAlive(v));
+  EXPECT_TRUE(adj.IsAlive(rec.parent));
+  EXPECT_EQ(adj.num_alive(), 8);
+  // Wings recorded from the common neighbours.
+  if (!commons.empty()) EXPECT_EQ(rec.wing1, commons[0]);
+  // Parent adopted the union neighbourhood.
+  for (VertexId n : adj.neighbors(rec.parent)) {
+    EXPECT_TRUE(adj.IsAlive(n));
+    EXPECT_TRUE(adj.HasEdge(n, rec.parent));
+  }
+}
+
+TEST(AdjacencyMeshTest, CanCollapseRespectsLinkCondition) {
+  // Build K4: every pair shares the other two vertices, commons == 2,
+  // still collapsible; then a configuration with 3 commons is not.
+  std::vector<Point3> pts{{0, 0, 0}, {2, 0, 0}, {1, 2, 0}, {1, 0.7, 0},
+                          {1, -1, 0}};
+  AdjacencyMesh adj(std::move(pts));
+  // Triangle 0-1-2 with 3 inside connected to all, plus 4 below edge
+  // 0-1 connected to 0 and 1.
+  adj.AddEdge(0, 1);
+  adj.AddEdge(1, 2);
+  adj.AddEdge(2, 0);
+  adj.AddEdge(3, 0);
+  adj.AddEdge(3, 1);
+  adj.AddEdge(3, 2);
+  adj.AddEdge(4, 0);
+  adj.AddEdge(4, 1);
+  // Edge (0,1) now has commons {2, 3, 4}: blocked.
+  EXPECT_EQ(adj.CommonNeighbors(0, 1).size(), 3u);
+  EXPECT_FALSE(adj.CanCollapse(0, 1));
+  // Edge (0,2) has commons {1, 3}: allowed.
+  EXPECT_TRUE(adj.CanCollapse(0, 2));
+  // ContractUnchecked works regardless.
+  const CollapseRecord rec = adj.ContractUnchecked(0, 1, Point3{1, 0, 0});
+  EXPECT_TRUE(adj.IsAlive(rec.parent));
+  EXPECT_EQ(adj.CommonNeighbors(rec.parent, 2).size(), 1u);
+}
+
+TEST(ExtractTrianglesTest, RecoversGridFaces) {
+  const DemGrid g = GenerateFractalDem({.side = 7, .seed = 9});
+  const TriangleMesh mesh = TriangulateDem(g);
+  AdjacencyMesh adj(mesh);
+
+  GraphView view;
+  view.position = [&](VertexId v) { return adj.position(v); };
+  view.neighbors = [&](VertexId v) -> const std::vector<VertexId>& {
+    return adj.neighbors(v);
+  };
+  const auto tris = ExtractTriangles(adj.AliveVertices(), view);
+  EXPECT_EQ(static_cast<int64_t>(tris.size()), mesh.num_triangles());
+
+  std::set<std::array<VertexId, 3>> expected;
+  for (Triangle t : mesh.triangles()) {
+    std::sort(t.v.begin(), t.v.end());
+    expected.insert(t.v);
+  }
+  for (Triangle t : tris) {
+    std::sort(t.v.begin(), t.v.end());
+    EXPECT_TRUE(expected.count(t.v));
+  }
+}
+
+TEST(ExtractTrianglesTest, InteriorPointSuppressesOuterTriangle) {
+  // u=0 smallest id; w=1 sits inside triangle (0, 2, 3) and connects
+  // to all corners: the big triangle must NOT be reported.
+  std::vector<Point3> pts{{0, 0, 0}, {1, 0.5, 0}, {3, 0, 0}, {1.5, 3, 0}};
+  AdjacencyMesh adj(std::move(pts));
+  adj.AddEdge(0, 2);
+  adj.AddEdge(2, 3);
+  adj.AddEdge(3, 0);
+  adj.AddEdge(1, 0);
+  adj.AddEdge(1, 2);
+  adj.AddEdge(1, 3);
+  GraphView view;
+  view.position = [&](VertexId v) { return adj.position(v); };
+  view.neighbors = [&](VertexId v) -> const std::vector<VertexId>& {
+    return adj.neighbors(v);
+  };
+  const auto tris = ExtractTriangles(adj.AliveVertices(), view);
+  EXPECT_EQ(tris.size(), 3u);
+  for (Triangle t : tris) {
+    std::sort(t.v.begin(), t.v.end());
+    EXPECT_EQ(t.v[0] == 0 && t.v[1] == 2 && t.v[2] == 3, false)
+        << "outer triangle wrongly reported";
+  }
+}
+
+TEST(MeshStatsTest, FlagsNonManifoldAndDuplicates) {
+  std::vector<VertexId> ids{0, 1, 2, 3};
+  std::vector<Point3> pos{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 5}};
+  std::vector<Triangle> tris{Triangle{{0, 1, 2}}, Triangle{{0, 1, 2}},
+                             Triangle{{0, 1, 3}}, Triangle{{2, 1, 3}}};
+  const MeshStats stats = ComputeMeshStats(ids, pos, tris);
+  EXPECT_EQ(stats.duplicate_triangles, 1);
+  EXPECT_GT(stats.nonmanifold_edges, 0);
+  EXPECT_FALSE(stats.IsManifold());
+}
+
+TEST(ObjIoTest, WritesValidObj) {
+  const DemGrid g = GenerateFractalDem({.side = 5, .seed = 1});
+  const TriangleMesh mesh = TriangulateDem(g);
+  const std::string path = dm::testing::TempDbPath("obj");
+  ASSERT_TRUE(WriteObj(mesh, path).ok());
+  // Count v/f lines.
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char line[256];
+  int64_t vs = 0;
+  int64_t fs = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (line[0] == 'v') ++vs;
+    if (line[0] == 'f') ++fs;
+  }
+  std::fclose(f);
+  EXPECT_EQ(vs, mesh.num_vertices());
+  EXPECT_EQ(fs, mesh.num_triangles());
+  std::remove(path.c_str());
+}
+
+TEST(ObjIoTest, RejectsUnknownVertexReference) {
+  std::vector<VertexId> ids{10, 20};
+  std::vector<Point3> pos{{0, 0, 0}, {1, 0, 0}};
+  std::vector<Triangle> tris{Triangle{{10, 20, 99}}};
+  const std::string path = dm::testing::TempDbPath("obj_bad");
+  EXPECT_FALSE(WriteObj(ids, pos, tris, path).ok());
+  std::remove(path.c_str());
+}
+
+
+TEST(DelaunayTest, TriangulatesASquare) {
+  std::vector<Point3> pts{{0, 0, 1}, {1, 0, 2}, {1, 1, 3}, {0, 1, 4}};
+  auto mesh_or = DelaunayTriangulate(pts);
+  ASSERT_TRUE(mesh_or.ok()) << mesh_or.status().ToString();
+  const TriangleMesh& mesh = mesh_or.value();
+  EXPECT_EQ(mesh.num_vertices(), 4);
+  EXPECT_EQ(mesh.num_triangles(), 2);
+  // z carried through untouched.
+  EXPECT_EQ(mesh.vertex(2).z, 3.0);
+}
+
+TEST(DelaunayTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(DelaunayTriangulate({{0, 0, 0}, {1, 1, 0}}).ok());
+  EXPECT_FALSE(
+      DelaunayTriangulate({{0, 0, 0}, {1, 1, 0}, {0, 0, 5}, {2, 2, 0}})
+          .ok());  // duplicate footprint
+}
+
+TEST(DelaunayTest, OutputIsDelaunayAndManifold) {
+  Rng rng(77);
+  std::vector<Point3> pts;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back(Point3{rng.Uniform(0, 100), rng.Uniform(0, 100),
+                         rng.Uniform(0, 50)});
+  }
+  auto mesh_or = DelaunayTriangulate(pts);
+  ASSERT_TRUE(mesh_or.ok());
+  const TriangleMesh& mesh = mesh_or.value();
+  EXPECT_EQ(mesh.num_vertices(), 300);
+
+  // Structural validity: manifold triangulated disk over the hull.
+  std::vector<VertexId> ids(300);
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<VertexId>(i);
+  const MeshStats stats =
+      ComputeMeshStats(ids, mesh.vertices(), mesh.triangles());
+  EXPECT_TRUE(stats.IsManifold()) << stats.ToString();
+  EXPECT_EQ(stats.euler_characteristic, 1);
+
+  // Empty circumcircle property against a sample of points.
+  int checked = 0;
+  for (size_t t = 0; t < mesh.triangles().size(); t += 17) {
+    const Triangle& tri = mesh.triangles()[t];
+    for (size_t p = 0; p < pts.size(); p += 11) {
+      const VertexId pid = static_cast<VertexId>(p);
+      if (pid == tri[0] || pid == tri[1] || pid == tri[2]) continue;
+      EXPECT_FALSE(InCircumcircle(mesh.vertex(tri[0]), mesh.vertex(tri[1]),
+                                  mesh.vertex(tri[2]), mesh.vertex(pid)))
+          << "triangle " << t << " violates Delaunay vs point " << p;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 100);
+}
+
+TEST(DelaunayTest, CcwOrientationThroughout) {
+  Rng rng(78);
+  std::vector<Point3> pts;
+  for (int i = 0; i < 120; ++i) {
+    pts.push_back(Point3{rng.Uniform(0, 10), rng.Uniform(0, 10), 0});
+  }
+  auto mesh_or = DelaunayTriangulate(pts);
+  ASSERT_TRUE(mesh_or.ok());
+  for (const Triangle& t : mesh_or.value().triangles()) {
+    const Point3& a = mesh_or.value().vertex(t[0]);
+    const Point3& b = mesh_or.value().vertex(t[1]);
+    const Point3& c = mesh_or.value().vertex(t[2]);
+    EXPECT_GT((b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x), 0.0);
+  }
+}
+
+TEST(DelaunayTest, IncircleOrientationSane) {
+  const Point3 a{0, 0, 0};
+  const Point3 b{2, 0, 0};
+  const Point3 c{1, 2, 0};
+  EXPECT_TRUE(InCircumcircle(a, b, c, Point3{1, 0.5, 0}));
+  EXPECT_FALSE(InCircumcircle(a, b, c, Point3{10, 10, 0}));
+}
+
+
+TEST(RenderTest, WritesAValidPpm) {
+  const DemGrid g = GenerateFractalDem({.side = 17, .seed = 3});
+  const TriangleMesh mesh = TriangulateDem(g);
+  std::vector<VertexId> ids(static_cast<size_t>(mesh.num_vertices()));
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<VertexId>(i);
+  const std::string path = dm::testing::TempDbPath("ppm");
+  RenderOptions opt;
+  opt.width = 64;
+  opt.height = 48;
+  ASSERT_TRUE(RenderHillshade(ids, mesh.vertices(), mesh.triangles(), path,
+                              opt)
+                  .ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char magic[3] = {0};
+  ASSERT_EQ(std::fread(magic, 1, 2, f), 2u);
+  EXPECT_EQ(std::string(magic), "P6");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  char header[64];
+  const int header_len =
+      std::snprintf(header, sizeof(header), "P6\n%d %d\n255\n", 64, 48);
+  EXPECT_EQ(size, header_len + 64 * 48 * 3);
+  std::remove(path.c_str());
+}
+
+TEST(RenderTest, CoversMostPixelsAndShadesSlopes) {
+  const DemGrid g = GenerateFractalDem({.side = 33, .seed = 8});
+  const TriangleMesh mesh = TriangulateDem(g);
+  std::vector<VertexId> ids(static_cast<size_t>(mesh.num_vertices()));
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<VertexId>(i);
+  const std::string path = dm::testing::TempDbPath("ppm2");
+  ASSERT_TRUE(
+      RenderHillshade(ids, mesh.vertices(), mesh.triangles(), path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  // Skip header (3 lines).
+  char line[64];
+  for (int i = 0; i < 3; ++i) ASSERT_NE(std::fgets(line, sizeof(line), f),
+                                        nullptr);
+  std::vector<uint8_t> px(512 * 512 * 3);
+  ASSERT_EQ(std::fread(px.data(), 1, px.size(), f), px.size());
+  std::fclose(f);
+  int64_t lit = 0;
+  std::set<uint8_t> reds;
+  for (size_t i = 0; i < px.size(); i += 3) {
+    if (px[i] + px[i + 1] + px[i + 2] > 0) ++lit;
+    reds.insert(px[i]);
+  }
+  EXPECT_GT(lit, 512 * 512 * 9 / 10);  // terrain fills the frame
+  EXPECT_GT(reds.size(), 16u);         // real shading variation
+  std::remove(path.c_str());
+}
+
+TEST(RenderTest, RejectsBadInputs) {
+  std::vector<VertexId> ids{0};
+  std::vector<Point3> pos{{0, 0, 0}};
+  EXPECT_FALSE(
+      RenderHillshade(ids, pos, {Triangle{{0, 1, 2}}}, "/tmp/x.ppm").ok());
+  RenderOptions opt;
+  opt.width = 0;
+  EXPECT_FALSE(RenderHillshade(ids, pos, {}, "/tmp/x.ppm", opt).ok());
+}
+
+}  // namespace
+}  // namespace dm

@@ -1,0 +1,222 @@
+#include "pm/pm_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "pm/cut_replay.h"
+#include "test_util.h"
+
+namespace dm {
+namespace {
+
+using testing::MakeScene;
+using testing::Scene;
+
+class PmTreeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { scene_ = new Scene(MakeScene(33)); }
+  static void TearDownTestSuite() {
+    delete scene_;
+    scene_ = nullptr;
+  }
+  static Scene* scene_;
+};
+Scene* PmTreeTest::scene_ = nullptr;
+
+TEST_F(PmTreeTest, FullCollapseProducesSingleRoot) {
+  EXPECT_EQ(scene_->sr.roots.size(), 1u);
+  EXPECT_EQ(scene_->sr.forced_collapses, 0);
+  // A full binary tree over n leaves has n - 1 internal nodes.
+  EXPECT_EQ(scene_->tree.num_nodes(), 2 * scene_->tree.num_leaves() - 1);
+}
+
+TEST_F(PmTreeTest, NormalizationIsMonotoneUpThePaths) {
+  const PmTree& tree = scene_->tree;
+  for (const PmNode& n : tree.nodes()) {
+    if (n.is_root()) {
+      EXPECT_TRUE(std::isinf(n.e_high));
+      continue;
+    }
+    const PmNode& p = tree.node(n.parent);
+    EXPECT_GE(p.e_low, n.e_low) << "node " << n.id;
+    EXPECT_EQ(n.e_high, p.e_low);
+  }
+}
+
+TEST_F(PmTreeTest, LeavesHaveZeroLod) {
+  for (const PmNode& n : scene_->tree.nodes()) {
+    if (n.is_leaf()) EXPECT_EQ(n.e_low, 0.0);
+  }
+}
+
+TEST_F(PmTreeTest, IntervalsPartitionEveryRootPath) {
+  // Walking leaf -> root, intervals must tile [0, inf) exactly.
+  const PmTree& tree = scene_->tree;
+  for (VertexId leaf = 0; leaf < tree.num_leaves(); leaf += 17) {
+    double expected_low = 0.0;
+    VertexId v = leaf;
+    while (v != kInvalidVertex) {
+      const PmNode& n = tree.node(v);
+      EXPECT_EQ(n.e_low, expected_low);
+      expected_low = n.e_high;
+      v = n.parent;
+    }
+    EXPECT_TRUE(std::isinf(expected_low));
+  }
+}
+
+TEST_F(PmTreeTest, ExactlyOneAliveNodePerPathAtAnyLod) {
+  const PmTree& tree = scene_->tree;
+  for (double frac : {0.0, 0.01, 0.1, 0.5, 0.9}) {
+    const double e = frac * tree.max_lod();
+    for (VertexId leaf = 0; leaf < tree.num_leaves(); leaf += 23) {
+      int alive = 0;
+      for (VertexId v = leaf; v != kInvalidVertex; v = tree.node(v).parent) {
+        if (tree.node(v).AliveAt(e)) ++alive;
+      }
+      EXPECT_EQ(alive, 1) << "leaf " << leaf << " e " << e;
+    }
+  }
+}
+
+TEST_F(PmTreeTest, FootprintsContainDescendantsAndSelf) {
+  const PmTree& tree = scene_->tree;
+  for (const PmNode& n : tree.nodes()) {
+    EXPECT_TRUE(n.footprint.Contains(n.pos.x, n.pos.y)) << n.id;
+    if (!n.is_leaf()) {
+      EXPECT_TRUE(n.footprint.Contains(tree.node(n.child1).footprint));
+      EXPECT_TRUE(n.footprint.Contains(tree.node(n.child2).footprint));
+    }
+  }
+}
+
+TEST_F(PmTreeTest, WingsAreNeverChildrenOrSelf) {
+  const PmTree& tree = scene_->tree;
+  for (const PmNode& n : tree.nodes()) {
+    if (n.is_leaf()) continue;
+    for (VertexId w : {n.wing1, n.wing2}) {
+      if (w == kInvalidVertex) continue;
+      EXPECT_NE(w, n.id);
+      EXPECT_NE(w, n.child1);
+      EXPECT_NE(w, n.child2);
+    }
+  }
+}
+
+TEST_F(PmTreeTest, SelectiveRefineMatchesBruteForceCut) {
+  const PmTree& tree = scene_->tree;
+  const Rect b = tree.bounds();
+  const Rect roi = Rect::Of(b.lo_x + b.width() * 0.2, b.lo_y + b.height() * 0.3,
+                            b.lo_x + b.width() * 0.7, b.lo_y + b.height() * 0.8);
+  for (double frac : {0.0, 0.05, 0.3, 0.8}) {
+    const double e = frac * tree.max_lod();
+    const auto got = tree.SelectiveRefine(roi, e);
+    std::vector<VertexId> expected;
+    for (const PmNode& n : tree.nodes()) {
+      if (n.AliveAt(e) && roi.Contains(n.pos.x, n.pos.y)) {
+        expected.push_back(n.id);
+      }
+    }
+    EXPECT_EQ(got, expected) << "e = " << e;
+  }
+}
+
+TEST_F(PmTreeTest, SelectiveRefineViewMatchesBruteForce) {
+  const PmTree& tree = scene_->tree;
+  const Rect roi = tree.bounds();
+  const double emax = tree.max_lod() * 0.4;
+  auto required = [&](const Point3& p) {
+    const double t = (p.y - roi.lo_y) / std::max(roi.height(), 1e-9);
+    return emax * std::clamp(t, 0.0, 1.0);
+  };
+  const auto got = tree.SelectiveRefineView(roi, required);
+  // Brute force: first node on each root path with e_low <= required.
+  std::set<VertexId> expected;
+  for (VertexId leaf = 0; leaf < tree.num_leaves(); ++leaf) {
+    std::vector<VertexId> path;
+    for (VertexId v = leaf; v != kInvalidVertex; v = tree.node(v).parent) {
+      path.push_back(v);
+    }
+    // Walk from the root downwards.
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      const PmNode& n = tree.node(*it);
+      if (n.e_low <= required(n.pos) || n.is_leaf()) {
+        if (roi.Contains(n.pos.x, n.pos.y)) expected.insert(*it);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(std::set<VertexId>(got.begin(), got.end()), expected);
+}
+
+TEST_F(PmTreeTest, MeanAndMaxLod) {
+  EXPECT_GT(scene_->tree.max_lod(), 0.0);
+  EXPECT_GT(scene_->tree.mean_lod(), 0.0);
+  EXPECT_LT(scene_->tree.mean_lod(), scene_->tree.max_lod());
+}
+
+TEST_F(PmTreeTest, BuildRejectsPartialCollapse) {
+  Scene partial;
+  partial.dem = GenerateFractalDem({.side = 17, .seed = 3});
+  partial.base = TriangulateDem(partial.dem);
+  SimplifyOptions opt;
+  opt.target_vertices = 10;
+  partial.sr = SimplifyMesh(partial.base, opt);
+  auto tree_or = PmTree::Build(partial.base, partial.sr);
+  EXPECT_FALSE(tree_or.ok());
+  EXPECT_EQ(tree_or.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PmTreeTest, CutAncestorsAgreesWithAliveAt) {
+  const PmTree& tree = scene_->tree;
+  const double e = tree.max_lod() * 0.2;
+  const auto anc = CutAncestors(tree, tree.num_leaves(), e);
+  for (VertexId leaf = 0; leaf < tree.num_leaves(); leaf += 11) {
+    const VertexId a = anc[static_cast<size_t>(leaf)];
+    EXPECT_TRUE(tree.node(a).AliveAt(e));
+    // And a is on the leaf's ancestor path.
+    bool found = false;
+    for (VertexId v = leaf; v != kInvalidVertex; v = tree.node(v).parent) {
+      if (v == a) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_F(PmTreeTest, QuotientCutIsManifoldTriangulation) {
+  const PmTree& tree = scene_->tree;
+  for (double frac : {0.02, 0.1, 0.4}) {
+    const double e = frac * tree.max_lod();
+    const QuotientCut cut =
+        ComputeUniformCut(scene_->base, tree, tree.bounds(), e);
+    EXPECT_FALSE(cut.vertices.empty());
+    // Adjacency symmetric.
+    for (const auto& [u, nbrs] : cut.adjacency) {
+      for (VertexId v : nbrs) {
+        const auto& back = cut.adjacency.at(v);
+        EXPECT_TRUE(std::binary_search(back.begin(), back.end(), u));
+      }
+    }
+  }
+}
+
+TEST_F(PmTreeTest, QuotientCutAtZeroIsBaseMesh) {
+  const PmTree& tree = scene_->tree;
+  const QuotientCut cut =
+      ComputeUniformCut(scene_->base, tree, tree.bounds(), 0.0);
+  // At LOD 0 every leaf with a non-empty interval is its own ancestor;
+  // leaves with empty intervals (zero-error collapses) are represented
+  // by an ancestor. On random fractal terrain zero-error collapses are
+  // rare; the cut must be nearly the full base mesh.
+  EXPECT_GE(static_cast<int64_t>(cut.vertices.size()),
+            scene_->tree.num_leaves() * 9 / 10);
+}
+
+}  // namespace
+}  // namespace dm

@@ -1,0 +1,117 @@
+// Cross-seed property sweeps: the invariants the whole design rests on,
+// re-verified over a grid of terrain shapes, sizes and seeds
+// (parameterized gtest). Anything that only holds for one lucky seed
+// fails here.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include "dm/connectivity.h"
+#include "dm/dm_query.h"
+#include "dm/dm_store.h"
+#include "pm/cut_replay.h"
+#include "test_util.h"
+
+namespace dm {
+namespace {
+
+using testing::MakeScene;
+using testing::Scene;
+
+// (side, seed, crater)
+using Param = std::tuple<int, uint64_t, bool>;
+
+class InvariantSweep : public ::testing::TestWithParam<Param> {
+ protected:
+  Scene MakeParamScene() const {
+    const auto& [side, seed, crater] = GetParam();
+    return MakeScene(side, seed, crater);
+  }
+};
+
+TEST_P(InvariantSweep, PmConstructionInvariants) {
+  const Scene s = MakeParamScene();
+  // Full collapse into one root, no forced (non-manifold) collapses.
+  EXPECT_EQ(s.sr.roots.size(), 1u);
+  EXPECT_EQ(s.sr.forced_collapses, 0);
+  EXPECT_EQ(s.tree.num_nodes(), 2 * s.tree.num_leaves() - 1);
+  // Monotone normalized LODs; intervals tile [0, inf) on every path.
+  for (VertexId leaf = 0; leaf < s.tree.num_leaves(); leaf += 7) {
+    double expect_low = 0.0;
+    for (VertexId v = leaf; v != kInvalidVertex;
+         v = s.tree.node(v).parent) {
+      const PmNode& n = s.tree.node(v);
+      EXPECT_EQ(n.e_low, expect_low);
+      EXPECT_LE(n.e_low, n.e_high);
+      expect_low = n.e_high;
+    }
+    EXPECT_TRUE(std::isinf(expect_low));
+  }
+}
+
+TEST_P(InvariantSweep, ConnectionListsExactAtEveryLod) {
+  const Scene s = MakeParamScene();
+  const auto conn = BuildConnectionLists(s.base, s.tree, s.sr);
+  for (double frac : {0.0, 0.02, 0.2, 0.7}) {
+    const double e = frac * s.tree.max_lod();
+    const QuotientCut cut =
+        ComputeUniformCut(s.base, s.tree, s.tree.bounds(), e);
+    const auto edge_list = cut.Edges();
+    std::set<std::pair<VertexId, VertexId>> expected(edge_list.begin(),
+                                                     edge_list.end());
+    std::set<VertexId> alive(cut.vertices.begin(), cut.vertices.end());
+    std::set<std::pair<VertexId, VertexId>> got;
+    for (VertexId u : cut.vertices) {
+      for (VertexId v : conn[static_cast<size_t>(u)]) {
+        if (u < v && alive.count(v)) got.emplace(u, v);
+      }
+    }
+    EXPECT_EQ(got, expected)
+        << "side=" << std::get<0>(GetParam())
+        << " seed=" << std::get<1>(GetParam()) << " e=" << e;
+  }
+}
+
+TEST_P(InvariantSweep, DmQueriesEqualSelectiveRefinement) {
+  const Scene s = MakeParamScene();
+  auto env = testing::OpenTempEnv(
+      "prop_" + std::to_string(std::get<0>(GetParam())) +
+      std::to_string(std::get<1>(GetParam())));
+  auto store_or = DmStore::Build(env.get(), s.base, s.tree, s.sr);
+  ASSERT_TRUE(store_or.ok());
+  DmQueryProcessor proc(&store_or.value());
+
+  const Rect b = s.tree.bounds();
+  const Rect rois[] = {
+      b,
+      Rect::Of(b.lo_x + b.width() * 0.3, b.lo_y + b.height() * 0.1,
+               b.lo_x + b.width() * 0.7, b.lo_y + b.height() * 0.6),
+  };
+  for (const Rect& roi : rois) {
+    for (double frac : {0.01, 0.2}) {
+      const double e = frac * s.tree.max_lod();
+      auto r_or = proc.ViewpointIndependent(roi, e);
+      ASSERT_TRUE(r_or.ok());
+      EXPECT_EQ(r_or.value().vertices, s.tree.SelectiveRefine(roi, e))
+          << "e=" << e;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TerrainGrid, InvariantSweep,
+    ::testing::Values(Param{17, 1, false}, Param{17, 2, true},
+                      Param{25, 3, false}, Param{25, 5, true},
+                      Param{33, 8, false}, Param{33, 13, true},
+                      Param{41, 21, false}, Param{49, 34, true}),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return "side" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_crater" : "_fractal");
+    });
+
+}  // namespace
+}  // namespace dm

@@ -1,0 +1,156 @@
+#include "simplify/simplifier.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "simplify/quadric.h"
+#include "test_util.h"
+
+namespace dm {
+namespace {
+
+TEST(QuadricTest, DistanceToSinglePlane) {
+  Quadric q;
+  q.AddPlane(0, 0, 1, -5.0);  // plane z = 5
+  EXPECT_NEAR(q.Evaluate(Point3{0, 0, 5}), 0.0, 1e-12);
+  EXPECT_NEAR(q.Evaluate(Point3{10, -3, 7}), 4.0, 1e-9);  // dist^2
+  EXPECT_NEAR(q.Evaluate(Point3{0, 0, 0}), 25.0, 1e-9);
+}
+
+TEST(QuadricTest, TrianglePlaneIsAreaWeighted) {
+  Quadric small;
+  small.AddTrianglePlane(Point3{0, 0, 0}, Point3{1, 0, 0}, Point3{0, 1, 0});
+  Quadric big;
+  big.AddTrianglePlane(Point3{0, 0, 0}, Point3{10, 0, 0}, Point3{0, 10, 0});
+  const Point3 off{0, 0, 2};
+  EXPECT_NEAR(big.Evaluate(off) / small.Evaluate(off), 100.0, 1e-6);
+}
+
+TEST(QuadricTest, OptimalPointMinimizesIntersectingPlanes) {
+  Quadric q;
+  q.AddPlane(1, 0, 0, -1.0);  // x = 1
+  q.AddPlane(0, 1, 0, -2.0);  // y = 2
+  q.AddPlane(0, 0, 1, -3.0);  // z = 3
+  const Point3 opt = q.OptimalPoint(Point3{0, 0, 0}, Point3{5, 5, 5});
+  EXPECT_NEAR(opt.x, 1.0, 1e-9);
+  EXPECT_NEAR(opt.y, 2.0, 1e-9);
+  EXPECT_NEAR(opt.z, 3.0, 1e-9);
+  EXPECT_NEAR(q.Evaluate(opt), 0.0, 1e-12);
+}
+
+TEST(QuadricTest, SingularFallsBackToEndpointsOrMidpoint) {
+  Quadric q;  // only one plane: singular system
+  q.AddPlane(0, 0, 1, 0.0);  // z = 0
+  const Point3 a{0, 0, 1};
+  const Point3 b{2, 0, -1};
+  const Point3 opt = q.OptimalPoint(a, b);
+  // Midpoint has z = 0: exactly optimal among the candidates.
+  EXPECT_NEAR(q.Evaluate(opt), 0.0, 1e-12);
+}
+
+TEST(QuadricTest, AdditionAccumulates) {
+  Quadric a;
+  a.AddPlane(0, 0, 1, 0.0);
+  Quadric b;
+  b.AddPlane(0, 0, 1, -2.0);
+  const Quadric sum = a + b;
+  // Point on neither plane: errors add.
+  EXPECT_NEAR(sum.Evaluate(Point3{0, 0, 1}),
+              a.Evaluate(Point3{0, 0, 1}) + b.Evaluate(Point3{0, 0, 1}),
+              1e-12);
+}
+
+class SimplifierTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplifierTest, FullyCollapsesGridsOfVariousSizes) {
+  const int side = GetParam();
+  const DemGrid g = GenerateFractalDem(
+      {.side = side, .seed = static_cast<uint64_t>(side)});
+  const TriangleMesh mesh = TriangulateDem(g);
+  const SimplifyResult sr = SimplifyMesh(mesh);
+  ASSERT_EQ(sr.roots.size(), 1u);
+  EXPECT_EQ(static_cast<int64_t>(sr.steps.size()), mesh.num_vertices() - 1);
+  EXPECT_EQ(sr.forced_collapses, 0);
+  EXPECT_EQ(static_cast<int64_t>(sr.positions.size()),
+            2 * mesh.num_vertices() - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(GridSizes, SimplifierTest,
+                         ::testing::Values(5, 9, 17, 33, 49));
+
+TEST(SimplifierMoreTest, EveryVertexCollapsedExactlyOnce) {
+  const DemGrid g = GenerateFractalDem({.side = 17, .seed = 4});
+  const TriangleMesh mesh = TriangulateDem(g);
+  const SimplifyResult sr = SimplifyMesh(mesh);
+  std::set<VertexId> collapsed;
+  for (const CollapseStep& s : sr.steps) {
+    EXPECT_TRUE(collapsed.insert(s.record.child1).second);
+    EXPECT_TRUE(collapsed.insert(s.record.child2).second);
+    EXPECT_EQ(collapsed.count(s.record.parent), 0u);
+  }
+  EXPECT_EQ(collapsed.count(sr.roots[0]), 0u);
+}
+
+TEST(SimplifierMoreTest, ErrorsAreNonNegativeAndGrowOnAverage) {
+  const DemGrid g = GenerateFractalDem({.side = 33, .seed = 8});
+  const TriangleMesh mesh = TriangulateDem(g);
+  const SimplifyResult sr = SimplifyMesh(mesh);
+  double first_half = 0;
+  double second_half = 0;
+  const size_t half = sr.steps.size() / 2;
+  for (size_t i = 0; i < sr.steps.size(); ++i) {
+    EXPECT_GE(sr.steps[i].error, 0.0);
+    (i < half ? first_half : second_half) += sr.steps[i].error;
+  }
+  // Greedy QEM errors trend upward (not strictly monotone).
+  EXPECT_GT(second_half, first_half);
+}
+
+TEST(SimplifierMoreTest, TargetVerticesStopsEarly) {
+  const DemGrid g = GenerateFractalDem({.side = 17, .seed = 4});
+  const TriangleMesh mesh = TriangulateDem(g);
+  SimplifyOptions opt;
+  opt.target_vertices = 40;
+  const SimplifyResult sr = SimplifyMesh(mesh, opt);
+  EXPECT_EQ(sr.roots.size(), 40u);
+  EXPECT_EQ(static_cast<int64_t>(sr.steps.size()),
+            mesh.num_vertices() - 40);
+}
+
+TEST(SimplifierMoreTest, VerticalMetricUsesZDistance) {
+  const DemGrid g = GenerateFractalDem({.side = 17, .seed = 4});
+  const TriangleMesh mesh = TriangulateDem(g);
+  SimplifyOptions opt;
+  opt.metric = ErrorMetric::kVertical;
+  const SimplifyResult sr = SimplifyMesh(mesh, opt);
+  EXPECT_EQ(sr.roots.size(), 1u);
+  for (const CollapseStep& s : sr.steps) EXPECT_GE(s.error, 0.0);
+}
+
+TEST(SimplifierMoreTest, WingsAreAdjacentToBothChildrenAtCollapse) {
+  // Replay the sequence and check wings against the live mesh.
+  const DemGrid g = GenerateFractalDem({.side = 9, .seed = 13});
+  const TriangleMesh mesh = TriangulateDem(g);
+  const SimplifyResult sr = SimplifyMesh(mesh);
+  AdjacencyMesh adj(mesh);
+  for (const CollapseStep& s : sr.steps) {
+    const auto commons = adj.CommonNeighbors(s.record.child1,
+                                             s.record.child2);
+    if (s.record.wing1 != kInvalidVertex) {
+      EXPECT_TRUE(std::binary_search(commons.begin(), commons.end(),
+                                     s.record.wing1));
+    }
+    if (s.record.wing2 != kInvalidVertex) {
+      EXPECT_TRUE(std::binary_search(commons.begin(), commons.end(),
+                                     s.record.wing2));
+    }
+    const CollapseRecord rec = adj.ContractUnchecked(
+        s.record.child1, s.record.child2, s.parent_pos);
+    EXPECT_EQ(rec.parent, s.record.parent);
+  }
+}
+
+}  // namespace
+}  // namespace dm

@@ -1,0 +1,127 @@
+// End-to-end pipeline over an *irregular* mesh (TIN): the paper's
+// surfaces are "a regular or irregular mesh"; everything downstream of
+// triangulation is representation-agnostic, which this suite proves by
+// re-checking the core invariants on Delaunay-triangulated scattered
+// samples.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "dem/fractal.h"
+#include "dm/connectivity.h"
+#include "dm/dm_query.h"
+#include "dm/dm_store.h"
+#include "mesh/delaunay.h"
+#include "mesh/validate.h"
+#include "pm/cut_replay.h"
+#include "pm/pm_tree.h"
+#include "simplify/simplifier.h"
+#include "test_util.h"
+
+namespace dm {
+namespace {
+
+class TinTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Scattered sampling of a fractal surface.
+    const DemGrid dem = GenerateFractalDem({.side = 65, .seed = 99});
+    Rng rng(17);
+    std::vector<Point3> pts;
+    for (int i = 0; i < 1200; ++i) {
+      const double x = rng.Uniform(0, 64);
+      const double y = rng.Uniform(0, 64);
+      pts.push_back(Point3{x, y, dem.Sample(x, y)});
+    }
+    auto mesh_or = DelaunayTriangulate(std::move(pts));
+    ASSERT_TRUE(mesh_or.ok()) << mesh_or.status().ToString();
+    base_ = new TriangleMesh(std::move(mesh_or).value());
+    sr_ = new SimplifyResult(SimplifyMesh(*base_));
+    auto tree_or = PmTree::Build(*base_, *sr_);
+    ASSERT_TRUE(tree_or.ok()) << tree_or.status().ToString();
+    tree_ = new PmTree(std::move(tree_or).value());
+  }
+  static void TearDownTestSuite() {
+    delete tree_;
+    delete sr_;
+    delete base_;
+  }
+  static TriangleMesh* base_;
+  static SimplifyResult* sr_;
+  static PmTree* tree_;
+};
+TriangleMesh* TinTest::base_ = nullptr;
+SimplifyResult* TinTest::sr_ = nullptr;
+PmTree* TinTest::tree_ = nullptr;
+
+TEST_F(TinTest, SimplifierFullyCollapsesTheTin) {
+  EXPECT_EQ(sr_->roots.size(), 1u);
+  EXPECT_EQ(tree_->num_nodes(), 2 * tree_->num_leaves() - 1);
+}
+
+TEST_F(TinTest, IntervalsStillPartitionPaths) {
+  for (VertexId leaf = 0; leaf < tree_->num_leaves(); leaf += 37) {
+    double expected_low = 0.0;
+    for (VertexId v = leaf; v != kInvalidVertex; v = tree_->node(v).parent) {
+      EXPECT_EQ(tree_->node(v).e_low, expected_low);
+      expected_low = tree_->node(v).e_high;
+    }
+  }
+}
+
+TEST_F(TinTest, ConnectionListsExactOnIrregularMesh) {
+  const auto conn = BuildConnectionLists(*base_, *tree_, *sr_);
+  for (double frac : {0.0, 0.03, 0.2, 0.6}) {
+    const double e = frac * tree_->max_lod();
+    const QuotientCut cut =
+        ComputeUniformCut(*base_, *tree_, tree_->bounds(), e);
+    const auto edge_list = cut.Edges();
+    std::set<std::pair<VertexId, VertexId>> expected(edge_list.begin(),
+                                                     edge_list.end());
+    std::set<VertexId> alive(cut.vertices.begin(), cut.vertices.end());
+    std::set<std::pair<VertexId, VertexId>> got;
+    for (VertexId u : cut.vertices) {
+      for (VertexId v : conn[static_cast<size_t>(u)]) {
+        if (u < v && alive.count(v)) got.emplace(u, v);
+      }
+    }
+    EXPECT_EQ(got, expected) << "e = " << e;
+  }
+}
+
+TEST_F(TinTest, DmQueriesMatchSelectiveRefinementOnTin) {
+  auto env = testing::OpenTempEnv("tin");
+  auto store_or = DmStore::Build(env.get(), *base_, *tree_, *sr_);
+  ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+  DmQueryProcessor proc(&store_or.value());
+
+  const Rect b = tree_->bounds();
+  const Rect roi = Rect::Of(b.lo_x + b.width() * 0.2,
+                            b.lo_y + b.height() * 0.2,
+                            b.lo_x + b.width() * 0.8,
+                            b.lo_y + b.height() * 0.8);
+  for (double frac : {0.02, 0.15, 0.5}) {
+    const double e = frac * tree_->max_lod();
+    auto r_or = proc.ViewpointIndependent(roi, e);
+    ASSERT_TRUE(r_or.ok());
+    EXPECT_EQ(r_or.value().vertices, tree_->SelectiveRefine(roi, e));
+  }
+
+  ViewQuery q;
+  q.roi = roi;
+  q.e_min = 0.0;
+  q.e_max = 0.4 * tree_->max_lod();
+  auto sb_or = proc.SingleBase(q);
+  ASSERT_TRUE(sb_or.ok());
+  EXPECT_FALSE(sb_or.value().vertices.empty());
+  const MeshStats stats =
+      ComputeMeshStats(sb_or.value().vertices, sb_or.value().positions,
+                       sb_or.value().triangles);
+  EXPECT_EQ(stats.duplicate_triangles, 0);
+  EXPECT_EQ(stats.nonmanifold_edges, 0);
+}
+
+}  // namespace
+}  // namespace dm

@@ -1,0 +1,75 @@
+#ifndef DIRECTMESH_TESTS_TEST_UTIL_H_
+#define DIRECTMESH_TESTS_TEST_UTIL_H_
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "dem/crater.h"
+#include "dem/fractal.h"
+#include "mesh/triangle_mesh.h"
+#include "pm/pm_tree.h"
+#include "simplify/simplifier.h"
+#include "storage/db_env.h"
+
+namespace dm::testing {
+
+/// A small terrain scene shared by many tests: DEM -> base mesh ->
+/// full QEM collapse -> PM tree.
+struct Scene {
+  DemGrid dem;
+  TriangleMesh base;
+  SimplifyResult sr;
+  PmTree tree;
+};
+
+inline Scene MakeScene(int side = 33, uint64_t seed = 7,
+                       bool crater = false) {
+  Scene s;
+  if (crater) {
+    CraterParams cp;
+    cp.side = side;
+    cp.seed = seed;
+    s.dem = GenerateCraterDem(cp);
+  } else {
+    FractalParams fp;
+    fp.side = side;
+    fp.seed = seed;
+    s.dem = GenerateFractalDem(fp);
+  }
+  s.base = TriangulateDem(s.dem);
+  s.sr = SimplifyMesh(s.base);
+  auto tree_or = PmTree::Build(s.base, s.sr);
+  if (!tree_or.ok()) {
+    std::fprintf(stderr, "scene build failed: %s\n",
+                 tree_or.status().ToString().c_str());
+    std::abort();
+  }
+  s.tree = std::move(tree_or).value();
+  return s;
+}
+
+/// Temp database path unique to the test binary instance.
+inline std::string TempDbPath(const std::string& tag) {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir = tmp != nullptr ? tmp : "/tmp";
+  return dir + "/dm_test_" + tag + "_" + std::to_string(::getpid()) + ".db";
+}
+
+inline std::unique_ptr<DbEnv> OpenTempEnv(const std::string& tag,
+                                          DbOptions options = {}) {
+  auto env_or = DbEnv::Open(TempDbPath(tag), options);
+  if (!env_or.ok()) {
+    std::fprintf(stderr, "env open failed: %s\n",
+                 env_or.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(env_or).value();
+}
+
+}  // namespace dm::testing
+
+#endif  // DIRECTMESH_TESTS_TEST_UTIL_H_

@@ -1,0 +1,371 @@
+// dmctl — command-line front end for Direct Mesh terrain databases.
+//
+//   dmctl build --out <base> [--dem file.asc | --synthetic fractal|crater]
+//               [--side N] [--seed S] [--compress]
+//   dmctl info  --db <base>
+//   dmctl query --db <base> --roi x0,y0,x1,y1 (--lod E | --keep FRAC)
+//               [--obj out.obj] [--ppm out.ppm]
+//   dmctl view  --db <base> --roi x0,y0,x1,y1 --emin E --emax E
+//               [--single] [--obj out.obj] [--ppm out.ppm]
+//
+// `<base>` names two files: `<base>.db` (pages) and `<base>.meta`
+// (catalog). ROI coordinates are in DEM grid units; `--keep` picks the
+// LOD whose uniform cut retains that fraction of the points.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dem/crater.h"
+#include "dem/dem_io.h"
+#include "dem/fractal.h"
+#include "dm/dm_query.h"
+#include "dm/dm_store.h"
+#include "mesh/obj_io.h"
+#include "mesh/render.h"
+#include "pm/pm_tree.h"
+#include "simplify/simplifier.h"
+#include "storage/db_env.h"
+
+namespace dm {
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    return Has(key) ? std::strtod(flags.at(key).c_str(), nullptr)
+                    : fallback;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    return Has(key) ? std::strtoll(flags.at(key).c_str(), nullptr, 10)
+                    : fallback;
+  }
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  if (argc > 1) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      args.flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      args.flags[arg] = argv[++i];
+    } else {
+      args.flags[arg] = "1";
+    }
+  }
+  return args;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  dmctl build --out BASE [--dem FILE.asc | --synthetic "
+      "fractal|crater] [--side N] [--seed S] [--compress]\n"
+      "  dmctl info  --db BASE\n"
+      "  dmctl query --db BASE --roi x0,y0,x1,y1 (--lod E | --keep F) "
+      "[--obj OUT] [--ppm OUT]\n"
+      "  dmctl view  --db BASE --roi x0,y0,x1,y1 --emin E --emax E "
+      "[--single] [--obj OUT] [--ppm OUT]\n");
+  return 2;
+}
+
+// ---- tiny meta file ------------------------------------------------
+
+Status SaveMeta(const std::string& path, const DmMeta& meta,
+                const std::vector<std::pair<double, double>>& quantiles) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot write " + path);
+  out.precision(17);
+  out << "heap_first=" << meta.heap_first << "\n"
+      << "rtree_root=" << meta.rtree_root << "\n"
+      << "rtree_size=" << meta.rtree_size << "\n"
+      << "num_nodes=" << meta.num_nodes << "\n"
+      << "num_leaves=" << meta.num_leaves << "\n"
+      << "max_lod=" << meta.max_lod << "\n"
+      << "mean_lod=" << meta.mean_lod << "\n"
+      << "compressed=" << (meta.compressed ? 1 : 0) << "\n"
+      << "bounds=" << meta.bounds.lo_x << "," << meta.bounds.lo_y << ","
+      << meta.bounds.hi_x << "," << meta.bounds.hi_y << "\n";
+  for (const auto& [f, e] : quantiles) {
+    out << "quantile=" << f << "," << e << "\n";
+  }
+  return Status::OK();
+}
+
+struct LoadedMeta {
+  DmMeta meta;
+  std::vector<std::pair<double, double>> quantiles;
+};
+
+Result<LoadedMeta> LoadMeta(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("no meta file at " + path);
+  LoadedMeta lm;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    std::stringstream ss(value);
+    if (key == "heap_first") ss >> lm.meta.heap_first;
+    if (key == "rtree_root") ss >> lm.meta.rtree_root;
+    if (key == "rtree_size") ss >> lm.meta.rtree_size;
+    if (key == "num_nodes") ss >> lm.meta.num_nodes;
+    if (key == "num_leaves") ss >> lm.meta.num_leaves;
+    if (key == "max_lod") ss >> lm.meta.max_lod;
+    if (key == "mean_lod") ss >> lm.meta.mean_lod;
+    if (key == "compressed") {
+      int v = 0;
+      ss >> v;
+      lm.meta.compressed = v != 0;
+    }
+    if (key == "bounds") {
+      char c;
+      ss >> lm.meta.bounds.lo_x >> c >> lm.meta.bounds.lo_y >> c >>
+          lm.meta.bounds.hi_x >> c >> lm.meta.bounds.hi_y;
+    }
+    if (key == "quantile") {
+      double f;
+      double e;
+      char c;
+      ss >> f >> c >> e;
+      lm.quantiles.emplace_back(f, e);
+    }
+  }
+  return lm;
+}
+
+Result<Rect> ParseRoi(const std::string& spec) {
+  Rect roi;
+  char c;
+  std::stringstream ss(spec);
+  if (!(ss >> roi.lo_x >> c >> roi.lo_y >> c >> roi.hi_x >> c >>
+        roi.hi_y) ||
+      roi.empty()) {
+    return Status::InvalidArgument("bad --roi, expected x0,y0,x1,y1");
+  }
+  return roi;
+}
+
+Status ExportResult(const Args& args, const DmQueryResult& r) {
+  if (args.Has("obj")) {
+    DM_RETURN_NOT_OK(
+        WriteObj(r.vertices, r.positions, r.triangles, args.Get("obj")));
+    std::printf("wrote %s\n", args.Get("obj").c_str());
+  }
+  if (args.Has("ppm")) {
+    DM_RETURN_NOT_OK(RenderHillshade(r.vertices, r.positions, r.triangles,
+                                     args.Get("ppm")));
+    std::printf("wrote %s\n", args.Get("ppm").c_str());
+  }
+  return Status::OK();
+}
+
+// ---- commands ------------------------------------------------------
+
+Status RunBuild(const Args& args) {
+  const std::string base = args.Get("out");
+  if (base.empty()) return Status::InvalidArgument("--out required");
+
+  DemGrid dem;
+  if (args.Has("dem")) {
+    DM_ASSIGN_OR_RETURN(dem, ReadEsriAsciiGrid(args.Get("dem")));
+  } else if (args.Get("synthetic", "fractal") == "crater") {
+    CraterParams p;
+    p.side = static_cast<int>(args.GetInt("side", 257));
+    p.seed = static_cast<uint64_t>(args.GetInt("seed", 4242));
+    dem = GenerateCraterDem(p);
+  } else {
+    FractalParams p;
+    p.side = static_cast<int>(args.GetInt("side", 257));
+    p.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+    dem = GenerateFractalDem(p);
+  }
+  std::printf("terrain: %d x %d samples\n", dem.width(), dem.height());
+
+  const TriangleMesh mesh = TriangulateDem(dem);
+  std::printf("simplifying %lld points...\n",
+              static_cast<long long>(mesh.num_vertices()));
+  const SimplifyResult sr = SimplifyMesh(mesh);
+  DM_ASSIGN_OR_RETURN(const PmTree tree, PmTree::Build(mesh, sr));
+
+  DM_ASSIGN_OR_RETURN(auto env, DbEnv::Open(base + ".db", {}));
+  DmStoreOptions options;
+  options.compress_records = args.Has("compress");
+  DM_ASSIGN_OR_RETURN(const DmStore store,
+                      DmStore::Build(env.get(), mesh, tree, sr, options));
+
+  // LOD quantiles for --keep.
+  std::vector<double> lods;
+  for (const PmNode& n : tree.nodes()) {
+    if (!n.is_leaf()) lods.push_back(n.e_low);
+  }
+  std::sort(lods.begin(), lods.end());
+  std::vector<std::pair<double, double>> quantiles;
+  for (double f : {1.0, 0.75, 0.5, 0.25, 0.1, 0.05, 0.02, 0.01, 0.005}) {
+    const int64_t target = std::max<int64_t>(
+        1, static_cast<int64_t>(f * static_cast<double>(tree.num_leaves())));
+    const int64_t k = tree.num_leaves() - target;
+    const double e =
+        k <= 0 ? 0.0
+               : lods[std::min<size_t>(static_cast<size_t>(k),
+                                       lods.size()) - 1];
+    quantiles.emplace_back(f, e);
+  }
+  DM_RETURN_NOT_OK(SaveMeta(base + ".meta", store.meta(), quantiles));
+  std::printf("built %s.db (%lld nodes, max LOD %.4g%s)\n", base.c_str(),
+              static_cast<long long>(store.meta().num_nodes),
+              store.meta().max_lod,
+              options.compress_records ? ", compressed" : "");
+  return Status::OK();
+}
+
+struct OpenDb {
+  std::unique_ptr<DbEnv> env;
+  std::unique_ptr<DmStore> store;
+  LoadedMeta lm;
+};
+
+Result<OpenDb> Open(const Args& args) {
+  const std::string base = args.Get("db");
+  if (base.empty()) return Status::InvalidArgument("--db required");
+  OpenDb db;
+  DM_ASSIGN_OR_RETURN(db.lm, LoadMeta(base + ".meta"));
+  DbOptions options;
+  options.truncate = false;
+  DM_ASSIGN_OR_RETURN(db.env, DbEnv::Open(base + ".db", options));
+  DM_ASSIGN_OR_RETURN(DmStore store, DmStore::Open(db.env.get(), db.lm.meta));
+  db.store = std::make_unique<DmStore>(std::move(store));
+  return db;
+}
+
+Status RunInfo(const Args& args) {
+  DM_ASSIGN_OR_RETURN(OpenDb db, Open(args));
+  const DmMeta& m = db.lm.meta;
+  std::printf("nodes:       %lld (%lld terrain points)\n",
+              static_cast<long long>(m.num_nodes),
+              static_cast<long long>(m.num_leaves));
+  std::printf("bounds:      %s\n", m.bounds.ToString().c_str());
+  std::printf("max LOD:     %.6g\n", m.max_lod);
+  std::printf("records:     %s\n", m.compressed ? "compressed" : "flat");
+  std::printf("heap pages:  %lld\n",
+              static_cast<long long>(db.store->heap().num_pages()));
+  std::printf("index nodes: %zu\n", db.store->node_extents().size());
+  std::printf("LOD ladder (fraction of points kept -> e):\n");
+  for (const auto& [f, e] : db.lm.quantiles) {
+    std::printf("  %6.1f%% -> %.6g\n", f * 100, e);
+  }
+  return Status::OK();
+}
+
+double LodFromArgs(const Args& args, const LoadedMeta& lm) {
+  if (args.Has("lod")) return args.GetDouble("lod", 0.0);
+  const double keep = args.GetDouble("keep", 0.1);
+  // Nearest quantile at or below the requested fraction.
+  double e = 0.0;
+  for (const auto& [f, q] : lm.quantiles) {
+    e = q;
+    if (f <= keep) break;
+  }
+  return e;
+}
+
+Status RunQuery(const Args& args) {
+  DM_ASSIGN_OR_RETURN(OpenDb db, Open(args));
+  DM_ASSIGN_OR_RETURN(const Rect roi, ParseRoi(args.Get("roi")));
+  const double e = LodFromArgs(args, db.lm);
+
+  DM_RETURN_NOT_OK(db.env->FlushAll());
+  DmQueryProcessor proc(db.store.get());
+  DM_ASSIGN_OR_RETURN(const DmQueryResult r,
+                      proc.ViewpointIndependent(roi, e));
+  std::printf(
+      "e=%.6g vertices=%zu triangles=%zu disk_accesses=%lld "
+      "(index %lld) cpu=%.2fms\n",
+      e, r.vertices.size(), r.triangles.size(),
+      static_cast<long long>(r.stats.disk_accesses),
+      static_cast<long long>(r.stats.index_io), r.stats.cpu_millis);
+  return ExportResult(args, r);
+}
+
+Status RunView(const Args& args) {
+  DM_ASSIGN_OR_RETURN(OpenDb db, Open(args));
+  DM_ASSIGN_OR_RETURN(const Rect roi, ParseRoi(args.Get("roi")));
+  ViewQuery q;
+  q.roi = roi;
+  q.e_min = args.GetDouble("emin", 0.0);
+  // Default far-plane LOD: the quantile keeping ~5% of the points
+  // (raw e values are skewed, so a fraction of max would be useless).
+  double far_default = db.lm.meta.max_lod * 0.2;
+  for (const auto& [f, e] : db.lm.quantiles) {
+    if (f <= 0.05) {
+      far_default = e;
+      break;
+    }
+  }
+  q.e_max = args.GetDouble("emax", far_default);
+
+  DM_RETURN_NOT_OK(db.env->FlushAll());
+  DmQueryProcessor proc(db.store.get());
+  DmQueryResult r;
+  if (args.Has("single")) {
+    DM_ASSIGN_OR_RETURN(r, proc.SingleBase(q));
+  } else {
+    DM_ASSIGN_OR_RETURN(r, proc.MultiBase(q));
+  }
+  std::printf(
+      "%s e=[%.4g, %.4g] vertices=%zu triangles=%zu cubes=%lld "
+      "disk_accesses=%lld cpu=%.2fms\n",
+      args.Has("single") ? "single-base" : "multi-base", q.e_min, q.e_max,
+      r.vertices.size(), r.triangles.size(),
+      static_cast<long long>(r.stats.range_queries),
+      static_cast<long long>(r.stats.disk_accesses), r.stats.cpu_millis);
+  return ExportResult(args, r);
+}
+
+int Main(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  Status st;
+  if (args.command == "build") {
+    st = RunBuild(args);
+  } else if (args.command == "info") {
+    st = RunInfo(args);
+  } else if (args.command == "query") {
+    st = RunQuery(args);
+  } else if (args.command == "view") {
+    st = RunView(args);
+  } else {
+    return Usage();
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dm
+
+int main(int argc, char** argv) { return dm::Main(argc, argv); }
