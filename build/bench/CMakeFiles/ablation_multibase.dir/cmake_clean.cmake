@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multibase.dir/ablation_multibase.cc.o"
+  "CMakeFiles/ablation_multibase.dir/ablation_multibase.cc.o.d"
+  "ablation_multibase"
+  "ablation_multibase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multibase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

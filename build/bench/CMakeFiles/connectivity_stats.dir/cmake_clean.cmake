@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connectivity_stats.dir/connectivity_stats.cc.o"
+  "CMakeFiles/connectivity_stats.dir/connectivity_stats.cc.o.d"
+  "connectivity_stats"
+  "connectivity_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connectivity_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

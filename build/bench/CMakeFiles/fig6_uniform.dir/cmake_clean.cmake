@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_uniform.dir/fig6_uniform.cc.o"
+  "CMakeFiles/fig6_uniform.dir/fig6_uniform.cc.o.d"
+  "fig6_uniform"
+  "fig6_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

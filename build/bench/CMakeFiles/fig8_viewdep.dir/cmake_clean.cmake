@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_viewdep.dir/fig8_viewdep.cc.o"
+  "CMakeFiles/fig8_viewdep.dir/fig8_viewdep.cc.o.d"
+  "fig8_viewdep"
+  "fig8_viewdep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_viewdep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

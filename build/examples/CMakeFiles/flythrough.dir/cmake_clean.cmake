@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flythrough.dir/flythrough.cpp.o"
+  "CMakeFiles/flythrough.dir/flythrough.cpp.o.d"
+  "flythrough"
+  "flythrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flythrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lod_pyramid.dir/lod_pyramid.cpp.o"
+  "CMakeFiles/lod_pyramid.dir/lod_pyramid.cpp.o.d"
+  "lod_pyramid"
+  "lod_pyramid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lod_pyramid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

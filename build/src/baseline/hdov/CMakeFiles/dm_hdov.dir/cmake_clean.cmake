@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_hdov.dir/hdov_tree.cc.o"
+  "CMakeFiles/dm_hdov.dir/hdov_tree.cc.o.d"
+  "libdm_hdov.a"
+  "libdm_hdov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_hdov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_pmdb.dir/pmdb_query.cc.o"
+  "CMakeFiles/dm_pmdb.dir/pmdb_query.cc.o.d"
+  "CMakeFiles/dm_pmdb.dir/pmdb_store.cc.o"
+  "CMakeFiles/dm_pmdb.dir/pmdb_store.cc.o.d"
+  "libdm_pmdb.a"
+  "libdm_pmdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_pmdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

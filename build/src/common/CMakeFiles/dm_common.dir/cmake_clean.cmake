@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_common.dir/geometry.cc.o"
+  "CMakeFiles/dm_common.dir/geometry.cc.o.d"
+  "CMakeFiles/dm_common.dir/hilbert.cc.o"
+  "CMakeFiles/dm_common.dir/hilbert.cc.o.d"
+  "CMakeFiles/dm_common.dir/status.cc.o"
+  "CMakeFiles/dm_common.dir/status.cc.o.d"
+  "libdm_common.a"
+  "libdm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dem/crater.cc" "src/dem/CMakeFiles/dm_dem.dir/crater.cc.o" "gcc" "src/dem/CMakeFiles/dm_dem.dir/crater.cc.o.d"
+  "/root/repo/src/dem/dem_grid.cc" "src/dem/CMakeFiles/dm_dem.dir/dem_grid.cc.o" "gcc" "src/dem/CMakeFiles/dm_dem.dir/dem_grid.cc.o.d"
+  "/root/repo/src/dem/dem_io.cc" "src/dem/CMakeFiles/dm_dem.dir/dem_io.cc.o" "gcc" "src/dem/CMakeFiles/dm_dem.dir/dem_io.cc.o.d"
+  "/root/repo/src/dem/fractal.cc" "src/dem/CMakeFiles/dm_dem.dir/fractal.cc.o" "gcc" "src/dem/CMakeFiles/dm_dem.dir/fractal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

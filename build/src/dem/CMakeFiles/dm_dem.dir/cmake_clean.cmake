@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_dem.dir/crater.cc.o"
+  "CMakeFiles/dm_dem.dir/crater.cc.o.d"
+  "CMakeFiles/dm_dem.dir/dem_grid.cc.o"
+  "CMakeFiles/dm_dem.dir/dem_grid.cc.o.d"
+  "CMakeFiles/dm_dem.dir/dem_io.cc.o"
+  "CMakeFiles/dm_dem.dir/dem_io.cc.o.d"
+  "CMakeFiles/dm_dem.dir/fractal.cc.o"
+  "CMakeFiles/dm_dem.dir/fractal.cc.o.d"
+  "libdm_dem.a"
+  "libdm_dem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_dem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

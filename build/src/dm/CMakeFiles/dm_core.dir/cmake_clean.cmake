@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_core.dir/connectivity.cc.o"
+  "CMakeFiles/dm_core.dir/connectivity.cc.o.d"
+  "CMakeFiles/dm_core.dir/cost_model.cc.o"
+  "CMakeFiles/dm_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/dm_core.dir/dm_node.cc.o"
+  "CMakeFiles/dm_core.dir/dm_node.cc.o.d"
+  "CMakeFiles/dm_core.dir/dm_query.cc.o"
+  "CMakeFiles/dm_core.dir/dm_query.cc.o.d"
+  "CMakeFiles/dm_core.dir/dm_store.cc.o"
+  "CMakeFiles/dm_core.dir/dm_store.cc.o.d"
+  "libdm_core.a"
+  "libdm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_btree.dir/bplus_tree.cc.o"
+  "CMakeFiles/dm_btree.dir/bplus_tree.cc.o.d"
+  "libdm_btree.a"
+  "libdm_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_lodquadtree.dir/lod_quadtree.cc.o"
+  "CMakeFiles/dm_lodquadtree.dir/lod_quadtree.cc.o.d"
+  "libdm_lodquadtree.a"
+  "libdm_lodquadtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_lodquadtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_rtree.dir/rstar_tree.cc.o"
+  "CMakeFiles/dm_rtree.dir/rstar_tree.cc.o.d"
+  "libdm_rtree.a"
+  "libdm_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

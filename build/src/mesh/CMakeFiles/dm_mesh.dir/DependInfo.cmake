@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/adjacency.cc" "src/mesh/CMakeFiles/dm_mesh.dir/adjacency.cc.o" "gcc" "src/mesh/CMakeFiles/dm_mesh.dir/adjacency.cc.o.d"
+  "/root/repo/src/mesh/delaunay.cc" "src/mesh/CMakeFiles/dm_mesh.dir/delaunay.cc.o" "gcc" "src/mesh/CMakeFiles/dm_mesh.dir/delaunay.cc.o.d"
+  "/root/repo/src/mesh/extract.cc" "src/mesh/CMakeFiles/dm_mesh.dir/extract.cc.o" "gcc" "src/mesh/CMakeFiles/dm_mesh.dir/extract.cc.o.d"
+  "/root/repo/src/mesh/obj_io.cc" "src/mesh/CMakeFiles/dm_mesh.dir/obj_io.cc.o" "gcc" "src/mesh/CMakeFiles/dm_mesh.dir/obj_io.cc.o.d"
+  "/root/repo/src/mesh/render.cc" "src/mesh/CMakeFiles/dm_mesh.dir/render.cc.o" "gcc" "src/mesh/CMakeFiles/dm_mesh.dir/render.cc.o.d"
+  "/root/repo/src/mesh/triangle_mesh.cc" "src/mesh/CMakeFiles/dm_mesh.dir/triangle_mesh.cc.o" "gcc" "src/mesh/CMakeFiles/dm_mesh.dir/triangle_mesh.cc.o.d"
+  "/root/repo/src/mesh/validate.cc" "src/mesh/CMakeFiles/dm_mesh.dir/validate.cc.o" "gcc" "src/mesh/CMakeFiles/dm_mesh.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dem/CMakeFiles/dm_dem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

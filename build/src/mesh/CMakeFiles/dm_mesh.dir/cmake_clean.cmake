@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_mesh.dir/adjacency.cc.o"
+  "CMakeFiles/dm_mesh.dir/adjacency.cc.o.d"
+  "CMakeFiles/dm_mesh.dir/delaunay.cc.o"
+  "CMakeFiles/dm_mesh.dir/delaunay.cc.o.d"
+  "CMakeFiles/dm_mesh.dir/extract.cc.o"
+  "CMakeFiles/dm_mesh.dir/extract.cc.o.d"
+  "CMakeFiles/dm_mesh.dir/obj_io.cc.o"
+  "CMakeFiles/dm_mesh.dir/obj_io.cc.o.d"
+  "CMakeFiles/dm_mesh.dir/render.cc.o"
+  "CMakeFiles/dm_mesh.dir/render.cc.o.d"
+  "CMakeFiles/dm_mesh.dir/triangle_mesh.cc.o"
+  "CMakeFiles/dm_mesh.dir/triangle_mesh.cc.o.d"
+  "CMakeFiles/dm_mesh.dir/validate.cc.o"
+  "CMakeFiles/dm_mesh.dir/validate.cc.o.d"
+  "libdm_mesh.a"
+  "libdm_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

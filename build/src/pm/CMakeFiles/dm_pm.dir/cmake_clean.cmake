@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_pm.dir/cut_replay.cc.o"
+  "CMakeFiles/dm_pm.dir/cut_replay.cc.o.d"
+  "CMakeFiles/dm_pm.dir/pm_tree.cc.o"
+  "CMakeFiles/dm_pm.dir/pm_tree.cc.o.d"
+  "libdm_pm.a"
+  "libdm_pm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_pm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simplify/quadric.cc" "src/simplify/CMakeFiles/dm_simplify.dir/quadric.cc.o" "gcc" "src/simplify/CMakeFiles/dm_simplify.dir/quadric.cc.o.d"
+  "/root/repo/src/simplify/simplifier.cc" "src/simplify/CMakeFiles/dm_simplify.dir/simplifier.cc.o" "gcc" "src/simplify/CMakeFiles/dm_simplify.dir/simplifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/dm_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/dem/CMakeFiles/dm_dem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

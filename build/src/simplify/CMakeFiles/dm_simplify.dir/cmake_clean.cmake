@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_simplify.dir/quadric.cc.o"
+  "CMakeFiles/dm_simplify.dir/quadric.cc.o.d"
+  "CMakeFiles/dm_simplify.dir/simplifier.cc.o"
+  "CMakeFiles/dm_simplify.dir/simplifier.cc.o.d"
+  "libdm_simplify.a"
+  "libdm_simplify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_simplify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/dm_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/dm_storage.dir/db_env.cc.o"
+  "CMakeFiles/dm_storage.dir/db_env.cc.o.d"
+  "CMakeFiles/dm_storage.dir/disk_manager.cc.o"
+  "CMakeFiles/dm_storage.dir/disk_manager.cc.o.d"
+  "CMakeFiles/dm_storage.dir/heap_file.cc.o"
+  "CMakeFiles/dm_storage.dir/heap_file.cc.o.d"
+  "libdm_storage.a"
+  "libdm_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_workload.dir/bench_context.cc.o"
+  "CMakeFiles/dm_workload.dir/bench_context.cc.o.d"
+  "CMakeFiles/dm_workload.dir/dataset.cc.o"
+  "CMakeFiles/dm_workload.dir/dataset.cc.o.d"
+  "libdm_workload.a"
+  "libdm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

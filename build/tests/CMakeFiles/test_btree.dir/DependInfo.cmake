@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_btree.cc" "tests/CMakeFiles/test_btree.dir/test_btree.cc.o" "gcc" "tests/CMakeFiles/test_btree.dir/test_btree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dem/CMakeFiles/dm_dem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/dm_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/simplify/CMakeFiles/dm_simplify.dir/DependInfo.cmake"
+  "/root/repo/build/src/pm/CMakeFiles/dm_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/btree/CMakeFiles/dm_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/rtree/CMakeFiles/dm_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/lodquadtree/CMakeFiles/dm_lodquadtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/dm/CMakeFiles/dm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/pmdb/CMakeFiles/dm_pmdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/hdov/CMakeFiles/dm_hdov.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dm_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

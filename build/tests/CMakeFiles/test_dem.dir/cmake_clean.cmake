@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dem.dir/test_dem.cc.o"
+  "CMakeFiles/test_dem.dir/test_dem.cc.o.d"
+  "test_dem"
+  "test_dem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

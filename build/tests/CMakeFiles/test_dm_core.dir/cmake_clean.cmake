@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dm_core.dir/test_dm_core.cc.o"
+  "CMakeFiles/test_dm_core.dir/test_dm_core.cc.o.d"
+  "test_dm_core"
+  "test_dm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dm_query.dir/test_dm_query.cc.o"
+  "CMakeFiles/test_dm_query.dir/test_dm_query.cc.o.d"
+  "test_dm_query"
+  "test_dm_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dm_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

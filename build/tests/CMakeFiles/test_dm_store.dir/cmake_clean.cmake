@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dm_store.dir/test_dm_store.cc.o"
+  "CMakeFiles/test_dm_store.dir/test_dm_store.cc.o.d"
+  "test_dm_store"
+  "test_dm_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dm_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hdov.dir/test_hdov.cc.o"
+  "CMakeFiles/test_hdov.dir/test_hdov.cc.o.d"
+  "test_hdov"
+  "test_hdov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hdov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

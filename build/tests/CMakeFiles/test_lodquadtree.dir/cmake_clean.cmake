@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lodquadtree.dir/test_lodquadtree.cc.o"
+  "CMakeFiles/test_lodquadtree.dir/test_lodquadtree.cc.o.d"
+  "test_lodquadtree"
+  "test_lodquadtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lodquadtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

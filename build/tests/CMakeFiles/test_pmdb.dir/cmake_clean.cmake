@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmdb.dir/test_pmdb.cc.o"
+  "CMakeFiles/test_pmdb.dir/test_pmdb.cc.o.d"
+  "test_pmdb"
+  "test_pmdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

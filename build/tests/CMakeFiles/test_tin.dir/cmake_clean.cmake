@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tin.dir/test_tin.cc.o"
+  "CMakeFiles/test_tin.dir/test_tin.cc.o.d"
+  "test_tin"
+  "test_tin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

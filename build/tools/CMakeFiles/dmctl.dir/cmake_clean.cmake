@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmctl.dir/dmctl.cc.o"
+  "CMakeFiles/dmctl.dir/dmctl.cc.o.d"
+  "dmctl"
+  "dmctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
