@@ -1,0 +1,23 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dm {
+namespace internal {
+
+CheckFailStream::CheckFailStream(const char* file, int line,
+                                 const char* expr) {
+  stream_ << file << ":" << line << ": DM_CHECK failed: " << expr;
+  stream_ << " ";
+}
+
+CheckFailStream::~CheckFailStream() {
+  const std::string msg = stream_.str();
+  std::fprintf(stderr, "%s\n", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace dm

@@ -1,0 +1,101 @@
+#ifndef DIRECTMESH_COMMON_CHECK_H_
+#define DIRECTMESH_COMMON_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+/// Release-safe invariant macros, glog-style. Unlike <cassert>, these
+/// fire in every build type, carry a streamed message, and print the
+/// failing expression with its location before aborting. Use
+/// DM_CHECK for conditions whose violation means the process state is
+/// unrecoverable (memory-safety preconditions, broken data-structure
+/// invariants); use DM_ENSURE where the caller can recover, which
+/// funnels the failure through Status instead of aborting.
+///
+///   DM_CHECK(frame.pins > 0) << "unpin of unpinned page " << id;
+///   DM_DCHECK(std::is_sorted(v.begin(), v.end()));
+///   DM_CHECK_OK(env->FlushAll());
+///   DM_ENSURE(size >= kFixedSize, Status::Corruption("record too small"));
+
+namespace dm {
+namespace internal {
+
+/// Collects the streamed message and aborts in its destructor. Built
+/// only on the failure path, so the happy path costs one branch.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* expr);
+  [[noreturn]] ~CheckFailStream();
+
+  /// Lvalue self-reference so the voidifier can bind to a temporary
+  /// (the LOG(FATAL).stream() trick).
+  CheckFailStream& self() { return *this; }
+
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Makes `DM_CHECK(x) << msg` an expression of type void in both
+/// branches (the classic LOG voidifier).
+struct Voidify {
+  void operator&(CheckFailStream&) {}
+};
+
+}  // namespace internal
+}  // namespace dm
+
+/// Aborts with the expression, location, and streamed message when
+/// `cond` is false. Enabled in every build type.
+#define DM_CHECK(cond)                          \
+  (cond) ? (void)0                              \
+         : ::dm::internal::Voidify() &          \
+               ::dm::internal::CheckFailStream(__FILE__, __LINE__, #cond) \
+                   .self()
+
+/// Debug-only DM_CHECK. Compiles to nothing under NDEBUG but still
+/// odr-uses its operands, so no unused-variable warnings appear in
+/// release builds.
+#ifdef NDEBUG
+#define DM_DCHECK(cond) DM_CHECK(true || (cond))
+#else
+#define DM_DCHECK(cond) DM_CHECK(cond)
+#endif
+
+/// Aborts when a Status- or Result-returning expression fails; the
+/// status message is included in the report. Deliberately generic (any
+/// type with ok() / ToString() or ok() / status()) so this header does
+/// not depend on status.h.
+#define DM_CHECK_OK(expr)                                              \
+  do {                                                                 \
+    const auto& _dm_check_st = (expr);                                 \
+    DM_CHECK(_dm_check_st.ok()) << ::dm::internal::StatusText(_dm_check_st); \
+  } while (0)
+
+namespace dm {
+namespace internal {
+template <typename S>
+auto StatusText(const S& s) -> decltype(s.ToString()) {
+  return s.ToString();
+}
+template <typename R>
+auto StatusText(const R& r) -> decltype(r.status().ToString()) {
+  return r.status().ToString();
+}
+}  // namespace internal
+}  // namespace dm
+
+/// Recoverable invariant: returns `status_expr` to the caller when
+/// `cond` is false instead of aborting. Use in Status/Result functions
+/// for conditions triggered by bad input or on-disk corruption.
+#define DM_ENSURE(cond, status_expr)       \
+  do {                                     \
+    if (!(cond)) return (status_expr);     \
+  } while (0)
+
+#endif  // DIRECTMESH_COMMON_CHECK_H_

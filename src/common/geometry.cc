@@ -6,14 +6,14 @@ namespace dm {
 
 std::string Rect::ToString() const {
   char buf[128];
-  std::snprintf(buf, sizeof(buf), "[%.3f,%.3f]x[%.3f,%.3f]", lo_x, hi_x,
+  std::snprintf(buf, sizeof(buf), "[%.6g,%.6g]x[%.6g,%.6g]", lo_x, hi_x,
                 lo_y, hi_y);
   return buf;
 }
 
 std::string Box::ToString() const {
   char buf[192];
-  std::snprintf(buf, sizeof(buf), "[%.3f,%.3f]x[%.3f,%.3f]x[%.3f,%.3f]",
+  std::snprintf(buf, sizeof(buf), "[%.6g,%.6g]x[%.6g,%.6g]x[%.6g,%.6g]",
                 lo[0], hi[0], lo[1], hi[1], lo[2], hi[2]);
   return buf;
 }

@@ -1,11 +1,12 @@
 #ifndef DIRECTMESH_COMMON_STATUS_H_
 #define DIRECTMESH_COMMON_STATUS_H_
 
-#include <cassert>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "common/check.h"
 
 namespace dm {
 
@@ -74,22 +75,22 @@ class Result {
  public:
   /* implicit */ Result(T value) : value_(std::move(value)) {}
   /* implicit */ Result(Status status) : status_(std::move(status)) {
-    assert(!status_.ok() && "OK status must carry a value");
+    DM_CHECK(!status_.ok()) << "OK status must carry a value";
   }
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    DM_CHECK(ok()) << status_.ToString();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    DM_CHECK(ok()) << status_.ToString();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    DM_CHECK(ok()) << status_.ToString();
     return std::move(*value_);
   }
 

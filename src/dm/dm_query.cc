@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "common/check.h"
 #include "dm/cost_model.h"
 #include "mesh/extract.h"
 
@@ -61,6 +62,8 @@ ViewQuery ViewQuery::FromAngle(const Rect& roi, double e_min,
 
 Status DmQueryProcessor::FetchBox(const Box& box, NodeMap* nodes,
                                   QueryStats* stats) {
+  DM_CHECK(nodes != nullptr && stats != nullptr)
+      << "FetchBox output parameters must be non-null";
   ++stats->range_queries;
   std::vector<uint64_t> rids;
   const int64_t reads_before = store_->env()->stats().disk_reads;
@@ -91,6 +94,8 @@ void DmQueryProcessor::Triangulate(const NodeMap& nodes,
   in_cut.reserve(cut.size());
   for (VertexId v : cut) in_cut[v] = true;
   for (VertexId v : cut) {
+    DM_DCHECK(nodes.count(v) != 0)
+        << "cut vertex " << v << " missing from the fetched node map";
     const DmNode& n = nodes.at(v);
     auto& list = adj[v];
     for (VertexId c : n.connections) {

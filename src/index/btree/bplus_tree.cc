@@ -3,6 +3,8 @@
 #include <cstring>
 #include <vector>
 
+#include "common/check.h"
+
 namespace dm {
 
 namespace {
@@ -128,8 +130,16 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRecursive(PageId node,
   DM_ASSIGN_OR_RETURN(PageGuard page, env_->pool().Fetch(node));
   const uint32_t page_size = env_->page_size();
   uint16_t count = LoadU16(page.data() + kCountOff);
+  const uint8_t type = page.data()[kTypeOff];
+  DM_ENSURE(type == kLeaf || type == kInternal,
+            Status::Corruption("b+tree page " + std::to_string(node) +
+                               " has unknown node type"));
+  DM_ENSURE(count <= (type == kLeaf ? LeafCapacity(page_size)
+                                    : InternalCapacity(page_size)),
+            Status::Corruption("b+tree page " + std::to_string(node) +
+                               " entry count exceeds capacity"));
 
-  if (page.data()[kTypeOff] == kLeaf) {
+  if (type == kLeaf) {
     const uint32_t pos = LeafLowerBound(page.data(), count, key);
     if (pos < count && LoadI64(LeafEntry(page.data(), pos)) == key) {
       StoreU64(LeafEntry(page.data(), pos) + 8, value);  // overwrite
@@ -267,6 +277,9 @@ Result<std::optional<uint64_t>> BPlusTree::Get(int64_t key) const {
   while (true) {
     DM_ASSIGN_OR_RETURN(PageGuard page, env_->pool().Fetch(node));
     const uint16_t count = LoadU16(page.data() + kCountOff);
+    DM_ENSURE(count <= env_->page_size() / kInternalEntrySize,
+              Status::Corruption("b+tree page " + std::to_string(node) +
+                                 " entry count exceeds page capacity"));
     if (page.data()[kTypeOff] == kLeaf) {
       const uint32_t pos = LeafLowerBound(page.data(), count, key);
       if (pos < count && LoadI64(LeafEntry(page.data(), pos)) == key) {

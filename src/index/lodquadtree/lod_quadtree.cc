@@ -5,6 +5,8 @@
 #include <functional>
 #include <vector>
 
+#include "common/check.h"
+
 namespace dm {
 
 namespace {
@@ -347,6 +349,9 @@ Status LodQuadtree::RangeQueryEntries(
     if (!region.Intersects(query)) continue;
     if (page.data()[kTypeOff] == kInternal) {
       const uint16_t n = LoadCount(page.data());
+      DM_ENSURE(n <= 4, Status::Corruption(
+                            "lod-quadtree internal node " + std::to_string(id) +
+                            " claims " + std::to_string(n) + " children"));
       for (uint16_t i = 0; i < n; ++i) {
         PageId child;
         std::memcpy(&child, page.data() + kChildrenOff + i * 4, 4);
@@ -355,6 +360,9 @@ Status LodQuadtree::RangeQueryEntries(
       continue;
     }
     const uint16_t count = LoadCount(page.data());
+    DM_ENSURE(count <= LeafCapacity(),
+              Status::Corruption("lod-quadtree leaf " + std::to_string(id) +
+                                 " entry count exceeds page capacity"));
     for (uint32_t i = 0; i < count; ++i) {
       const PointEntry p = LoadPoint(page.data(), i);
       if (query.Contains(p.x, p.y, p.e)) {

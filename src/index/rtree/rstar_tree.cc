@@ -5,6 +5,8 @@
 #include <cstring>
 #include <limits>
 
+#include "common/check.h"
+
 namespace dm {
 
 namespace {
@@ -187,6 +189,13 @@ Result<RStarTree::Node> RStarTree::ReadNode(PageId id) const {
   uint16_t count;
   std::memcpy(&node.level, page.data() + kLevelOff, 2);
   std::memcpy(&count, page.data() + kCountOff, 2);
+  // M + 1 entries may legitimately sit on disk between an overflowing
+  // insert and its overflow treatment.
+  DM_ENSURE(kEntriesOff + static_cast<uint32_t>(count) * kEntrySize <=
+                env_->page_size(),
+            Status::Corruption("R*-tree node " + std::to_string(id) +
+                               " entry count " + std::to_string(count) +
+                               " exceeds page capacity"));
   node.entries.resize(count);
   const uint8_t* p = page.data() + kEntriesOff;
   for (uint16_t i = 0; i < count; ++i, p += kEntrySize) {
@@ -544,6 +553,31 @@ Status RStarTree::CollectNodeExtents(std::vector<RTreeNodeExtent>* out) const {
     ext.level = node.level;
     ext.count = static_cast<uint16_t>(node.entries.size());
     out->push_back(ext);
+    if (node.level > 0) {
+      for (const Entry& e : node.entries) {
+        stack.push_back(static_cast<PageId>(e.payload));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status RStarTree::VisitNodes(
+    const std::function<bool(PageId, uint16_t,
+                             const std::vector<std::pair<Box, uint64_t>>&)>&
+        callback) const {
+  std::vector<PageId> stack{root_};
+  std::vector<std::pair<Box, uint64_t>> entries;
+  while (!stack.empty()) {
+    const PageId id = stack.back();
+    stack.pop_back();
+    DM_ASSIGN_OR_RETURN(Node node, ReadNode(id));
+    entries.clear();
+    entries.reserve(node.entries.size());
+    for (const Entry& e : node.entries) {
+      entries.emplace_back(e.box, e.payload);
+    }
+    if (!callback(id, node.level, entries)) return Status::OK();
     if (node.level > 0) {
       for (const Entry& e : node.entries) {
         stack.push_back(static_cast<PageId>(e.payload));

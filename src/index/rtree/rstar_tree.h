@@ -75,6 +75,15 @@ class RStarTree {
   /// Enumerates every node's MBR/level/count (root included).
   Status CollectNodeExtents(std::vector<RTreeNodeExtent>* out) const;
 
+  /// Depth-first structural traversal for audits: the callback sees
+  /// each node's page id, level, and entries (payloads are child page
+  /// ids when level > 0, opaque leaf payloads at level 0). Returning
+  /// false stops the walk early.
+  Status VisitNodes(
+      const std::function<bool(PageId, uint16_t,
+                               const std::vector<std::pair<Box, uint64_t>>&)>&
+          callback) const;
+
   /// The MBR of the whole tree (empty box when the tree is empty).
   Result<Box> RootBox() const;
 

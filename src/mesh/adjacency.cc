@@ -1,7 +1,7 @@
 #include "mesh/adjacency.h"
 
 #include <algorithm>
-#include <cassert>
+#include "common/check.h"
 
 namespace dm {
 
@@ -60,11 +60,13 @@ void AdjacencyMesh::AddEdgeInternal(VertexId u, VertexId v) {
 void AdjacencyMesh::RemoveEdgeInternal(VertexId u, VertexId v) {
   auto& a = adj_[static_cast<size_t>(u)];
   auto it = std::lower_bound(a.begin(), a.end(), v);
-  assert(it != a.end() && *it == v);
+  DM_CHECK(it != a.end() && *it == v)
+      << "RemoveEdge of absent edge (" << u << ", " << v << ")";
   a.erase(it);
   auto& b = adj_[static_cast<size_t>(v)];
   auto jt = std::lower_bound(b.begin(), b.end(), u);
-  assert(jt != b.end() && *jt == u);
+  DM_CHECK(jt != b.end() && *jt == u)
+      << "asymmetric adjacency between " << u << " and " << v;
   b.erase(jt);
   --num_edges_;
 }
@@ -79,13 +81,14 @@ VertexId AdjacencyMesh::AddVertex(const Point3& pos) {
 
 CollapseRecord AdjacencyMesh::ContractUnchecked(VertexId u, VertexId v,
                                                 const Point3& parent_pos) {
-  assert(IsAlive(u) && IsAlive(v) && u != v);
+  DM_CHECK(IsAlive(u) && IsAlive(v) && u != v)
+      << "contract of dead or identical vertices " << u << ", " << v;
   return CollapseImpl(u, v, parent_pos);
 }
 
 CollapseRecord AdjacencyMesh::Collapse(VertexId u, VertexId v,
                                        const Point3& parent_pos) {
-  assert(CanCollapse(u, v));
+  DM_CHECK(CanCollapse(u, v)) << "illegal collapse (" << u << ", " << v << ")";
   return CollapseImpl(u, v, parent_pos);
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
+
 namespace dm {
 
 std::vector<Triangle> ExtractTriangles(const std::vector<VertexId>& vertices,
@@ -11,6 +13,9 @@ std::vector<Triangle> ExtractTriangles(const std::vector<VertexId>& vertices,
   std::vector<VertexId> ring;
   for (VertexId u : vertices) {
     const auto& nbrs = graph.neighbors(u);
+    // The mutual-adjacency test below binary-searches neighbour lists.
+    DM_DCHECK(std::is_sorted(nbrs.begin(), nbrs.end()))
+        << "neighbour list of vertex " << u << " is not sorted";
     if (nbrs.size() < 2) continue;
     const Point3 pu = graph.position(u);
     ring.assign(nbrs.begin(), nbrs.end());

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "common/check.h"
+
 namespace dm {
 
 std::vector<std::pair<VertexId, VertexId>> QuotientCut::Edges() const {
@@ -18,6 +20,9 @@ std::vector<std::pair<VertexId, VertexId>> QuotientCut::Edges() const {
 
 std::vector<VertexId> CutAncestors(const PmTree& tree, int64_t num_leaves,
                                    double e) {
+  DM_CHECK(num_leaves <= tree.num_nodes())
+      << "CutAncestors over " << num_leaves << " leaves but the tree has "
+      << tree.num_nodes() << " nodes";
   // rep[v] caches the cut ancestor of node v (or the highest known hop
   // toward it), giving near-linear total walk length via path
   // compression across leaves that share ancestors.
@@ -35,6 +40,9 @@ std::vector<VertexId> CutAncestors(const PmTree& tree, int64_t num_leaves,
       }
       const PmNode& n = tree.node(v);
       if (n.AliveAt(e)) break;
+      DM_DCHECK(n.parent != kInvalidVertex)
+          << "node " << v << " dead at e=" << e
+          << " yet has no parent; intervals must tile [0, inf)";
       path.push_back(v);
       v = n.parent;
     }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/check.h"
+
 namespace dm {
 
 Result<PmTree> PmTree::Build(const TriangleMesh& base,
@@ -24,6 +26,12 @@ Result<PmTree> PmTree::Build(const TriangleMesh& base,
     n.pos = sr.positions[static_cast<size_t>(i)];
   }
   for (const CollapseStep& step : sr.steps) {
+    DM_ENSURE(step.record.parent >= 0 && step.record.parent < total &&
+                  step.record.child1 >= 0 && step.record.child1 < total &&
+                  step.record.child2 >= 0 && step.record.child2 < total,
+              Status::InvalidArgument(
+                  "collapse step references vertex outside [0, " +
+                  std::to_string(total) + ")"));
     PmNode& p = tree.nodes_[static_cast<size_t>(step.record.parent)];
     p.child1 = step.record.child1;
     p.child2 = step.record.child2;
@@ -50,6 +58,7 @@ Result<PmTree> PmTree::Build(const TriangleMesh& base,
       const PmNode& c1 = tree.nodes_[static_cast<size_t>(n.child1)];
       const PmNode& c2 = tree.nodes_[static_cast<size_t>(n.child2)];
       n.e_low = std::max({n.e_raw, c1.e_low, c2.e_low});
+      DM_DCHECK(n.e_low >= c1.e_low && n.e_low >= c2.e_low);
       n.footprint = c1.footprint;
       n.footprint.ExpandToInclude(c2.footprint);
       // Include the node's own point: the QEM-optimal parent position

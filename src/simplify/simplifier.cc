@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "common/check.h"
 #include "simplify/quadric.h"
 
 namespace dm {
@@ -140,6 +141,9 @@ SimplifyResult SimplifyMesh(const TriangleMesh& mesh,
     const Point3 ppos = qc.OptimalPoint(cu, cv);
     rec = adj.Collapse(cand.u, cand.v, ppos);
     quadrics.push_back(qc);  // parent's quadric, id == rec.parent
+    DM_DCHECK(rec.parent + 1 == static_cast<VertexId>(quadrics.size()))
+        << "collapse parent id " << rec.parent
+        << " out of step with the quadric vector";
 
     CollapseStep step;
     step.record = rec;

@@ -1,6 +1,6 @@
 #include "storage/buffer_pool.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace dm {
 
@@ -30,7 +30,7 @@ PageGuard& PageGuard::operator=(PageGuard&& o) noexcept {
 PageGuard::~PageGuard() { Release(); }
 
 void PageGuard::MarkDirty() {
-  assert(valid());
+  DM_CHECK(valid()) << "MarkDirty on an empty PageGuard";
   pool_->MarkDirty(id_);
 }
 
@@ -45,7 +45,7 @@ void PageGuard::Release() {
 
 BufferPool::BufferPool(DiskManager* disk, uint32_t capacity_pages)
     : disk_(disk), capacity_(capacity_pages) {
-  assert(capacity_ > 0);
+  DM_CHECK(capacity_ > 0) << "buffer pool needs at least one frame";
   frames_.resize(capacity_);
   for (auto& f : frames_) f.data.resize(disk_->page_size());
   free_list_.reserve(capacity_);
@@ -57,6 +57,22 @@ BufferPool::BufferPool(DiskManager* disk, uint32_t capacity_pages)
 BufferPool::~BufferPool() {
   // Best-effort write-back; errors at teardown are not recoverable.
   (void)FlushAll();
+}
+
+int64_t BufferPool::pinned_frames() const {
+  int64_t n = 0;
+  for (const auto& [id, idx] : page_table_) {
+    if (frames_[idx].pins > 0) ++n;
+  }
+  return n;
+}
+
+int64_t BufferPool::total_pins() const {
+  int64_t n = 0;
+  for (const auto& [id, idx] : page_table_) {
+    n += frames_[idx].pins;
+  }
+  return n;
 }
 
 Result<uint32_t> BufferPool::GetFreeFrame() {
@@ -118,9 +134,9 @@ Result<PageGuard> BufferPool::NewPage() {
 
 void BufferPool::Unpin(PageId id) {
   auto it = page_table_.find(id);
-  assert(it != page_table_.end());
+  DM_CHECK(it != page_table_.end()) << "unpin of unmapped page " << id;
   Frame& f = frames_[it->second];
-  assert(f.pins > 0);
+  DM_CHECK(f.pins > 0) << "pin/unpin imbalance on page " << id;
   if (--f.pins == 0) {
     lru_.push_back(it->second);
     f.lru_pos = std::prev(lru_.end());
@@ -130,7 +146,7 @@ void BufferPool::Unpin(PageId id) {
 
 void BufferPool::MarkDirty(PageId id) {
   auto it = page_table_.find(id);
-  assert(it != page_table_.end());
+  DM_CHECK(it != page_table_.end()) << "MarkDirty on unmapped page " << id;
   frames_[it->second].dirty = true;
 }
 

@@ -73,6 +73,13 @@ class BufferPool {
   const IoStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
+  /// Number of frames currently holding at least one pin. A quiescent
+  /// pool (no live PageGuard) must report 0; the invariant checker
+  /// audits this after every traversal.
+  int64_t pinned_frames() const;
+  /// Sum of pin counts across all frames.
+  int64_t total_pins() const;
+
   /// Fetches a page, reading from disk on miss.
   Result<PageGuard> Fetch(PageId id);
 

@@ -3,6 +3,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/check.h"
+
 namespace dm {
 
 DiskManager::~DiskManager() {
@@ -42,6 +44,7 @@ Result<PageId> DiskManager::AllocatePage() {
 }
 
 Status DiskManager::ReadPage(PageId id, uint8_t* out) {
+  DM_CHECK(out != nullptr) << "ReadPage into null buffer";
   if (id >= num_pages_) {
     return Status::OutOfRange("page " + std::to_string(id) + " beyond EOF");
   }
@@ -55,6 +58,7 @@ Status DiskManager::ReadPage(PageId id, uint8_t* out) {
 }
 
 Status DiskManager::WritePage(PageId id, const uint8_t* data) {
+  DM_CHECK(data != nullptr) << "WritePage from null buffer";
   if (id >= num_pages_) {
     return Status::OutOfRange("page " + std::to_string(id) + " beyond EOF");
   }

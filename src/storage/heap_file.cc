@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/check.h"
+
 namespace dm {
 
 namespace {
@@ -105,6 +107,11 @@ Status HeapFile::Get(RecordId rid, std::vector<uint8_t>* out) const {
       page.data() + env_->page_size() - (rid.slot + 1u) * kSlotSize;
   const uint16_t off = LoadU16(slot);
   const uint16_t len = LoadU16(slot + 2);
+  DM_ENSURE(off >= kHeaderSize &&
+                static_cast<uint32_t>(off) + len <= env_->page_size(),
+            Status::Corruption("slot " + std::to_string(rid.slot) +
+                               " on page " + std::to_string(rid.page) +
+                               " points outside the page"));
   out->assign(page.data() + off, page.data() + off + len);
   return Status::OK();
 }
@@ -121,6 +128,11 @@ Status HeapFile::Scan(
           page.data() + env_->page_size() - (s + 1u) * kSlotSize;
       const uint16_t off = LoadU16(slot);
       const uint16_t len = LoadU16(slot + 2);
+      DM_ENSURE(off >= kHeaderSize &&
+                    static_cast<uint32_t>(off) + len <= env_->page_size(),
+                Status::Corruption("slot " + std::to_string(s) + " on page " +
+                                   std::to_string(id) +
+                                   " points outside the page"));
       if (!callback(RecordId{id, s}, page.data() + off, len)) {
         return Status::OK();
       }

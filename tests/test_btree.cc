@@ -111,7 +111,9 @@ TEST_F(BPlusTreeTest, RandomizedAgainstStdMap) {
 TEST_F(BPlusTreeTest, SurvivesPoolFlushes) {
   for (int i = 0; i < 1000; ++i) {
     ASSERT_TRUE(tree_->Insert(i, static_cast<uint64_t>(i * 3)).ok());
-    if (i % 100 == 0) ASSERT_TRUE(env_->FlushAll().ok());
+    if (i % 100 == 0) {
+      ASSERT_TRUE(env_->FlushAll().ok());
+    }
   }
   ASSERT_TRUE(env_->FlushAll().ok());
   env_->ResetStats();

@@ -78,7 +78,9 @@ TEST(AdjacencyMeshTest, CollapseRewiresNeighbourhood) {
   EXPECT_TRUE(adj.IsAlive(rec.parent));
   EXPECT_EQ(adj.num_alive(), 8);
   // Wings recorded from the common neighbours.
-  if (!commons.empty()) EXPECT_EQ(rec.wing1, commons[0]);
+  if (!commons.empty()) {
+    EXPECT_EQ(rec.wing1, commons[0]);
+  }
   // Parent adopted the union neighbourhood.
   for (VertexId n : adj.neighbors(rec.parent)) {
     EXPECT_TRUE(adj.IsAlive(n));

@@ -48,7 +48,9 @@ TEST_F(PmTreeTest, NormalizationIsMonotoneUpThePaths) {
 
 TEST_F(PmTreeTest, LeavesHaveZeroLod) {
   for (const PmNode& n : scene_->tree.nodes()) {
-    if (n.is_leaf()) EXPECT_EQ(n.e_low, 0.0);
+    if (n.is_leaf()) {
+      EXPECT_EQ(n.e_low, 0.0);
+    }
   }
 }
 

@@ -3,6 +3,7 @@
 //   dmctl build --out <base> [--dem file.asc | --synthetic fractal|crater]
 //               [--side N] [--seed S] [--compress]
 //   dmctl info  --db <base>
+//   dmctl verify --db <base> [--max-violations N]
 //   dmctl query --db <base> --roi x0,y0,x1,y1 (--lod E | --keep FRAC)
 //               [--obj out.obj] [--ppm out.ppm]
 //   dmctl view  --db <base> --roi x0,y0,x1,y1 --emin E --emax E
@@ -27,6 +28,7 @@
 #include "dem/fractal.h"
 #include "dm/dm_query.h"
 #include "dm/dm_store.h"
+#include "dm/invariants.h"
 #include "mesh/obj_io.h"
 #include "mesh/render.h"
 #include "pm/pm_tree.h"
@@ -82,6 +84,7 @@ int Usage() {
       "  dmctl build --out BASE [--dem FILE.asc | --synthetic "
       "fractal|crater] [--side N] [--seed S] [--compress]\n"
       "  dmctl info  --db BASE\n"
+      "  dmctl verify --db BASE [--max-violations N]\n"
       "  dmctl query --db BASE --roi x0,y0,x1,y1 (--lod E | --keep F) "
       "[--obj OUT] [--ppm OUT]\n"
       "  dmctl view  --db BASE --roi x0,y0,x1,y1 --emin E --emax E "
@@ -279,6 +282,24 @@ Status RunInfo(const Args& args) {
   return Status::OK();
 }
 
+Status RunVerify(const Args& args) {
+  DM_ASSIGN_OR_RETURN(OpenDb db, Open(args));
+  InvariantOptions options;
+  options.max_violations_per_invariant = args.GetInt("max-violations", 16);
+  DM_ASSIGN_OR_RETURN(const InvariantReport report,
+                      VerifyDmStore(*db.store, options));
+  std::printf("%s\n", report.ToString().c_str());
+  if (!report.ok()) {
+    if (report.violations.empty()) {
+      return Status::Corruption("invariant violations (all suppressed)");
+    }
+    return Status::Corruption("invariant violation: [" +
+                              report.violations.front().invariant + "] " +
+                              report.violations.front().detail);
+  }
+  return Status::OK();
+}
+
 double LodFromArgs(const Args& args, const LoadedMeta& lm) {
   if (args.Has("lod")) return args.GetDouble("lod", 0.0);
   const double keep = args.GetDouble("keep", 0.1);
@@ -351,6 +372,8 @@ int Main(int argc, char** argv) {
     st = RunBuild(args);
   } else if (args.command == "info") {
     st = RunInfo(args);
+  } else if (args.command == "verify") {
+    st = RunVerify(args);
   } else if (args.command == "query") {
     st = RunQuery(args);
   } else if (args.command == "view") {

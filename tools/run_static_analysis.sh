@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# Correctness-tooling driver: clang-tidy over every target, then the
+# full ctest suite under each sanitizer configuration.
+#
+#   tools/run_static_analysis.sh [--tidy-only] [--sanitize-only]
+#                                [--skip-tsan] [-j N]
+#
+# Exits non-zero on the first stage that fails. Stages whose toolchain
+# is not installed (e.g. clang-tidy on a gcc-only box) are skipped with
+# a warning so the script stays useful on minimal containers; CI images
+# are expected to have the full toolchain.
+
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+REPO_ROOT=$(pwd)
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+RUN_TIDY=1
+RUN_SAN=1
+SKIP_TSAN=0
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --tidy-only) RUN_SAN=0 ;;
+    --sanitize-only) RUN_TIDY=0 ;;
+    --skip-tsan) SKIP_TSAN=1 ;;
+    -j) shift; JOBS=$1 ;;
+    -j*) JOBS=${1#-j} ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+FAILURES=0
+
+note()  { printf '\n== %s ==\n' "$*"; }
+fail()  { echo "FAIL: $*" >&2; FAILURES=$((FAILURES + 1)); }
+
+# ---- clang-tidy over all targets -----------------------------------
+
+run_tidy() {
+  note "clang-tidy"
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "clang-tidy not installed; skipping the lint stage" >&2
+    return 0
+  fi
+
+  local build_dir="$REPO_ROOT/build-tidy"
+  cmake -B "$build_dir" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || {
+    fail "cmake configure for clang-tidy"; return 1; }
+
+  # Every first-party translation unit; third-party and generated code
+  # never enters the compile database from our source dirs.
+  local sources
+  sources=$(find src tools tests bench examples \
+                 -name '*.cc' -o -name '*.cpp' | sort)
+
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    # shellcheck disable=SC2086
+    run-clang-tidy -p "$build_dir" -j "$JOBS" -quiet $sources || {
+      fail "clang-tidy findings"; return 1; }
+  else
+    local rc=0
+    for f in $sources; do
+      clang-tidy -p "$build_dir" --quiet "$f" || rc=1
+    done
+    [ "$rc" -eq 0 ] || { fail "clang-tidy findings"; return 1; }
+  fi
+  echo "clang-tidy: clean"
+}
+
+# ---- build + ctest under each sanitizer ----------------------------
+
+run_sanitizer() {
+  local name=$1 sanitize=$2
+  note "ctest under $name"
+  local build_dir="$REPO_ROOT/build-$name"
+  cmake -B "$build_dir" -S "$REPO_ROOT" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DDM_SANITIZE="$sanitize" >/dev/null || {
+    fail "$name configure"; return 1; }
+  cmake --build "$build_dir" -j "$JOBS" >/dev/null || {
+    fail "$name build"; return 1; }
+  (cd "$build_dir" && ctest --output-on-failure -j "$JOBS") || {
+    fail "$name tests"; return 1; }
+}
+
+sanitizer_available() {
+  # Probe whether the toolchain can actually link the sanitizer
+  # runtime (containers often ship the compiler without libtsan).
+  local flag=$1 tmp
+  tmp=$(mktemp -d)
+  echo 'int main(){return 0;}' > "$tmp/t.cc"
+  if c++ "-fsanitize=$flag" "$tmp/t.cc" -o "$tmp/t" >/dev/null 2>&1; then
+    rm -rf "$tmp"; return 0
+  fi
+  rm -rf "$tmp"; return 1
+}
+
+[ "$RUN_TIDY" -eq 1 ] && run_tidy
+
+if [ "$RUN_SAN" -eq 1 ]; then
+  if sanitizer_available address; then
+    run_sanitizer asan-ubsan "address,undefined"
+  else
+    echo "address sanitizer runtime not installed; skipping" >&2
+  fi
+  if [ "$SKIP_TSAN" -eq 0 ]; then
+    if sanitizer_available thread; then
+      run_sanitizer tsan thread
+    else
+      echo "thread sanitizer runtime not installed; skipping" >&2
+    fi
+  fi
+fi
+
+note "summary"
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES stage(s) failed"
+  exit 1
+fi
+echo "all stages passed (or were skipped for missing toolchain)"
