@@ -3,16 +3,88 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "workload/bench_context.h"
 
 namespace dm::bench {
+
+/// Minimal ordered JSON emitter for machine-readable bench artifacts
+/// (BENCH_*.json at the repo root). Output shape:
+///
+///   {"bench": "<name>", "metrics": {"<metric>": <number>, ...}}
+///
+/// Metrics keep insertion order; non-finite values are emitted as
+/// `null` so the file always parses as strict JSON.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench) : bench_(std::move(bench)) {}
+
+  void Add(const std::string& name, double value) {
+    metrics_.emplace_back(name, value);
+  }
+
+  std::string ToJson() const {
+    std::string out;
+    out.append("{\"bench\": \"");
+    out.append(Escaped(bench_));
+    out.append("\", \"metrics\": {");
+    bool first = true;
+    for (const auto& [name, value] : metrics_) {
+      if (!first) out += ", ";
+      first = false;
+      out.append("\"");
+      out.append(Escaped(name));
+      out.append("\": ");
+      if (std::isfinite(value)) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", value);
+        out += buf;
+      } else {
+        out += "null";
+      }
+    }
+    out += "}}\n";
+    return out;
+  }
+
+  /// Writes the JSON document to `path`; returns false (and logs) on
+  /// I/O failure.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "[bench] cannot open %s for writing\n",
+                   path.c_str());
+      return false;
+    }
+    const std::string doc = ToJson();
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    if (ok) std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 /// Number of random query locations averaged per data point (the paper
 /// uses 20); override with DM_BENCH_LOCATIONS for quick runs.
@@ -55,9 +127,25 @@ inline BenchContext& GetContext(bool crater) {
 /// per method.
 class FigureTable {
  public:
-  explicit FigureTable(std::string title) : title_(std::move(title)) {}
+  /// `key` is the short machine-readable id ("fig6a") used for JSON
+  /// metric names; figures constructed without one are skipped by
+  /// AppendJson.
+  explicit FigureTable(std::string title, std::string key = "")
+      : title_(std::move(title)), key_(std::move(key)) {}
 
   void Add(double x, Method m, double da) { rows_[x][m] = da; }
+
+  /// Appends every cell as "<key>/x_<x>/<method>" -> DA.
+  void AppendJson(BenchJsonWriter* writer) const {
+    if (key_.empty()) return;
+    for (const auto& [x, cols] : rows_) {
+      char xbuf[32];
+      std::snprintf(xbuf, sizeof(xbuf), "%g", x);
+      for (const auto& [m, da] : cols) {
+        writer->Add(key_ + "/x_" + xbuf + "/" + MethodName(m), da);
+      }
+    }
+  }
 
   void Print() const {
     std::printf("\n=== %s ===\n", title_.c_str());
@@ -89,6 +177,7 @@ class FigureTable {
 
  private:
   std::string title_;
+  std::string key_;
   std::map<double, std::map<Method, double>> rows_;
 };
 
@@ -100,6 +189,15 @@ inline std::vector<FigureTable>& Figures() {
 
 inline void PrintAllFigures() {
   for (const auto& fig : Figures()) fig.Print();
+}
+
+/// Dumps every keyed figure in the registry into one BENCH_*.json
+/// document named `bench_name` at `path`.
+inline void WriteFiguresJson(const std::string& bench_name,
+                             const std::string& path) {
+  BenchJsonWriter writer(bench_name);
+  for (const auto& fig : Figures()) fig.AppendJson(&writer);
+  writer.WriteFile(path);
 }
 
 }  // namespace dm::bench

@@ -90,13 +90,15 @@ void RegisterAll() {
   auto& figs = Figures();
   figs.reserve(4);
   figs.emplace_back(
-      "Figure 6(a): varying ROI (% of area), 'small' dataset, DA");
+      "Figure 6(a): varying ROI (% of area), 'small' dataset, DA", "fig6a");
   figs.emplace_back(
-      "Figure 6(b): varying LOD (cut keeps x% of points), 'small', DA");
+      "Figure 6(b): varying LOD (cut keeps x% of points), 'small', DA",
+      "fig6b");
   figs.emplace_back(
-      "Figure 6(c): varying ROI (% of area), 'crater' dataset, DA");
+      "Figure 6(c): varying ROI (% of area), 'crater' dataset, DA", "fig6c");
   figs.emplace_back(
-      "Figure 6(d): varying LOD (cut keeps x% of points), 'crater', DA");
+      "Figure 6(d): varying LOD (cut keeps x% of points), 'crater', DA",
+      "fig6d");
   FigureTable* fig6a = &figs[0];
   FigureTable* fig6b = &figs[1];
   FigureTable* fig6c = &figs[2];
@@ -148,5 +150,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   dm::bench::PrintAllFigures();
+  dm::bench::WriteFiguresJson("fig6_uniform", "BENCH_fig6.json");
   return 0;
 }

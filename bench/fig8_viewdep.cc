@@ -73,14 +73,18 @@ void RunView(benchmark::State& state, bool crater, const Sweep& sweep,
 void RegisterAll() {
   auto& figs = Figures();
   figs.reserve(6);
-  figs.emplace_back("Figure 8(a): varying ROI (%), 'small', DA");
+  figs.emplace_back("Figure 8(a): varying ROI (%), 'small', DA", "fig8a");
   figs.emplace_back(
-      "Figure 8(b): varying e_min (cut keeps x% of points), 'small', DA");
-  figs.emplace_back("Figure 8(c): varying angle (% of theta_max), 'small', DA");
-  figs.emplace_back("Figure 8(d): varying ROI (%), 'crater', DA");
+      "Figure 8(b): varying e_min (cut keeps x% of points), 'small', DA",
+      "fig8b");
+  figs.emplace_back("Figure 8(c): varying angle (% of theta_max), 'small', DA",
+                    "fig8c");
+  figs.emplace_back("Figure 8(d): varying ROI (%), 'crater', DA", "fig8d");
   figs.emplace_back(
-      "Figure 8(e): varying e_min (cut keeps x% of points), 'crater', DA");
-  figs.emplace_back("Figure 8(f): varying angle (% of theta_max), 'crater', DA");
+      "Figure 8(e): varying e_min (cut keeps x% of points), 'crater', DA",
+      "fig8e");
+  figs.emplace_back("Figure 8(f): varying angle (% of theta_max), 'crater', DA",
+                    "fig8f");
 
   for (int crater = 0; crater <= 1; ++crater) {
     FigureTable* roi_fig = &Figures()[crater == 0 ? 0 : 3];
@@ -149,5 +153,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   dm::bench::PrintAllFigures();
+  dm::bench::WriteFiguresJson("fig8_viewdep", "BENCH_fig8.json");
   return 0;
 }

@@ -71,14 +71,13 @@ Status DmQueryProcessor::FetchBox(const Box& box, NodeMap* nodes,
   stats->index_io += store_->env()->stats().disk_reads - reads_before;
   // Fetch in page order: the R*-tree returns leaf entries in traversal
   // order, while records are Hilbert-clustered; sorting by record id
-  // visits each heap page once.
+  // visits each heap page once and lets the store coalesce runs of
+  // adjacent pages into scatter-gather disk reads.
   std::sort(rids.begin(), rids.end());
-  for (uint64_t packed : rids) {
-    DM_ASSIGN_OR_RETURN(DmNode node,
-                        store_->FetchNode(RecordId::Unpack(packed)));
+  DM_RETURN_NOT_OK(store_->FetchNodes(rids, [&](DmNode node) {
     ++stats->nodes_fetched;
     nodes->emplace(node.id, std::move(node));
-  }
+  }));
   return Status::OK();
 }
 

@@ -153,4 +153,21 @@ Result<DmNode> DmStore::FetchNode(RecordId rid) const {
   return DmNode::Decode(buf.data(), static_cast<uint32_t>(buf.size()));
 }
 
+Status DmStore::FetchNodes(const std::vector<uint64_t>& sorted_rids,
+                           const std::function<void(DmNode)>& fn) const {
+  std::vector<RecordId> rids;
+  rids.reserve(sorted_rids.size());
+  for (uint64_t packed : sorted_rids) {
+    rids.push_back(RecordId::Unpack(packed));
+  }
+  return heap_.GetMany(
+      rids, [&](RecordId, const uint8_t* data, uint32_t len) -> Status {
+        auto node_or = meta_.compressed ? DmNode::DecodeCompressed(data, len)
+                                        : DmNode::Decode(data, len);
+        DM_RETURN_NOT_OK(node_or.status());
+        fn(std::move(node_or).value());
+        return Status::OK();
+      });
+}
+
 }  // namespace dm

@@ -2,6 +2,7 @@
 #define DIRECTMESH_DM_DM_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -47,6 +48,12 @@ struct DmStoreOptions {
 /// a 3D R*-tree indexing each node as the vertical line segment
 /// <(x, y, e_low), (x, y, e_high)> in (x, y, e) space — Section 4 of
 /// the paper.
+///
+/// Concurrency: a DmStore is immutable after Build/Open — the heap,
+/// R*-tree, meta, and catalog never change — so every const member
+/// (FetchNode, FetchNodes, rtree() range queries, cost_inputs()) is
+/// safe to call from many query workers sharing one store; the only
+/// mutable state is inside the thread-safe buffer pool.
 class DmStore {
  public:
   /// Builds the database from a PM construction run: computes the
@@ -66,6 +73,15 @@ class DmStore {
 
   /// Fetches and decodes one node record.
   Result<DmNode> FetchNode(RecordId rid) const;
+
+  /// Batch fetch: decodes the records named by `sorted_rids` (packed
+  /// RecordIds in ascending order — the order a sorted
+  /// RangeQuery result is already in) and hands each node to `fn`.
+  /// Runs of adjacent heap pages coalesce into single scatter-gather
+  /// disk reads; `disk_reads` accounting matches per-record FetchNode
+  /// calls exactly.
+  Status FetchNodes(const std::vector<uint64_t>& sorted_rids,
+                    const std::function<void(DmNode)>& fn) const;
 
   /// Cached node extents of the R*-tree for the multi-base cost model
   /// (collected once at open/build; treated as catalog statistics, not

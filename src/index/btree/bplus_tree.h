@@ -19,6 +19,10 @@ namespace dm {
 /// Keys are unique; Insert overwrites an existing key's value. The
 /// tree is built once per dataset and then read-only, so node merging
 /// on delete is intentionally not implemented.
+///
+/// Concurrency: after the build the tree is frozen; the const read
+/// paths (Get, range scans) are safe from many threads through the
+/// thread-safe buffer pool. `Insert` is single-writer.
 class BPlusTree {
  public:
   /// Creates an empty tree in `env`.

@@ -32,6 +32,12 @@ struct RTreeNodeExtent {
 /// ChooseSubtree at the leaf level, forced reinsert of the 30%
 /// farthest entries on first overflow per level, and the
 /// margin-driven topological split.
+///
+/// Concurrency: once loading is done the tree structure is frozen, so
+/// the const traversals (RangeQuery, RangeQueryEntries,
+/// CollectNodeExtents, VisitNodes, Height, RootBox) are safe from many
+/// threads; node pages are materialized through the thread-safe buffer
+/// pool. `Insert` is single-writer and must not overlap with readers.
 class RStarTree {
  public:
   /// Creates an empty tree (root = empty leaf) in `env`.

@@ -1,0 +1,215 @@
+#include "server/query_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace dm {
+
+QueryService::QueryService(DmStore* store, const QueryServiceOptions& options)
+    : store_(store), options_(options) {
+  DM_CHECK(store_ != nullptr) << "QueryService needs a store";
+  options_.num_threads = std::max(1, options_.num_threads);
+  options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
+  workers_.reserve(static_cast<size_t>(options_.num_threads));
+  for (int i = 0; i < options_.num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+bool QueryService::Submit(QueryRequest request, QueryCallback done) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [this] {
+    return stopping_ || queue_.size() < options_.queue_capacity;
+  });
+  if (stopping_) return false;
+  queue_.push_back(Job{std::move(request), std::move(done)});
+  not_empty_.notify_one();
+  return true;
+}
+
+void QueryService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void QueryService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+    // Workers drain the remaining queue before exiting; producers
+    // blocked in Submit give up.
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+void QueryService::WorkerLoop() {
+  // One processor per worker: the processor itself is stateless
+  // between queries, but giving each worker its own keeps every
+  // per-query allocation thread-local.
+  DmQueryProcessor proc(store_);
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, nothing left to drain
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+      not_full_.notify_one();
+    }
+    const Result<DmQueryResult> result = Execute(&proc, job.request);
+    if (job.done) job.done(result);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+Result<DmQueryResult> QueryService::Execute(DmQueryProcessor* proc,
+                                            const QueryRequest& request) const {
+  switch (request.kind) {
+    case QueryRequest::Kind::kUniform:
+      return proc->ViewpointIndependent(request.roi, request.e);
+    case QueryRequest::Kind::kView:
+      return request.multi_base ? proc->MultiBase(request.view)
+                                : proc->SingleBase(request.view);
+    case QueryRequest::Kind::kPerspective:
+      return proc->Perspective(request.perspective);
+  }
+  return Status::InvalidArgument("unknown query kind");
+}
+
+std::vector<QueryRequest> MakeMixedWorkload(const Rect& bounds, double max_lod,
+                                            int count, uint64_t seed,
+                                            double roi_fraction, int persp_pct,
+                                            int mb_pct) {
+  Rng rng(seed);
+  const double side = std::sqrt(
+      std::max(1e-12, roi_fraction) * std::max(1e-12, bounds.Area()));
+  const double lod = std::max(max_lod, 1e-12);
+  std::vector<QueryRequest> workload;
+  workload.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const double x =
+        rng.Uniform(bounds.lo_x, std::max(bounds.lo_x, bounds.hi_x - side));
+    const double y =
+        rng.Uniform(bounds.lo_y, std::max(bounds.lo_y, bounds.hi_y - side));
+    const Rect roi = Rect::Of(x, y, std::min(x + side, bounds.hi_x),
+                              std::min(y + side, bounds.hi_y));
+    QueryRequest req;
+    if (static_cast<int>(rng.NextBelow(100)) < persp_pct) {
+      req.kind = QueryRequest::Kind::kPerspective;
+      req.perspective.roi = roi;
+      // Viewer at the center of the near edge, the fig8 convention.
+      req.perspective.viewer = Point2{(roi.lo_x + roi.hi_x) / 2, roi.lo_y};
+      const double diag =
+          std::sqrt(roi.width() * roi.width() + roi.height() * roi.height());
+      req.perspective.tolerance =
+          (0.2 + 0.5 * rng.NextDouble()) * lod / std::max(diag, 1e-12);
+      req.perspective.e_floor = 0.01 * lod;
+      req.perspective.e_cap = lod;
+    } else {
+      req.kind = QueryRequest::Kind::kView;
+      req.view.roi = roi;
+      req.view.e_min = 0.01 * lod;
+      req.view.e_max = (0.1 + 0.4 * rng.NextDouble()) * lod;
+      req.view.gradient_along_y = rng.NextBelow(2) == 0;
+      req.multi_base = static_cast<int>(rng.NextBelow(100)) < mb_pct;
+    }
+    workload.push_back(req);
+  }
+  return workload;
+}
+
+std::string ThroughputReport::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "threads=%d queries=%lld wall=%.1fms qps=%.1f "
+                "p50=%.2fms p99=%.2fms disk_reads=%lld failed=%lld",
+                threads, static_cast<long long>(queries), wall_millis, qps,
+                p50_millis, p99_millis, static_cast<long long>(disk_reads),
+                static_cast<long long>(failed));
+  return buf;
+}
+
+namespace {
+
+double Percentile(std::vector<double> sorted_ascending, double p) {
+  if (sorted_ascending.empty()) return 0.0;
+  const double rank =
+      p * static_cast<double>(sorted_ascending.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted_ascending.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_ascending[lo] * (1.0 - frac) + sorted_ascending[hi] * frac;
+}
+
+}  // namespace
+
+Result<ThroughputReport> RunThroughput(
+    DmStore* store, const std::vector<QueryRequest>& workload, int threads) {
+  using Clock = std::chrono::steady_clock;
+  // Warm-cache steady state: write back dirt, keep everything
+  // resident (the cold-cache FlushAll stays with the paper benches).
+  DM_RETURN_NOT_OK(store->env()->FlushDirty());
+  const int64_t reads0 = store->env()->stats().disk_reads;
+
+  QueryServiceOptions options;
+  options.num_threads = threads;
+  options.queue_capacity =
+      std::max<size_t>(8, 2 * static_cast<size_t>(threads));
+  QueryService service(store, options);
+
+  std::vector<double> latencies(workload.size(), 0.0);
+  std::atomic<int64_t> failed{0};
+  const auto run_start = Clock::now();
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const auto submit_time = Clock::now();
+    service.Submit(workload[i],
+                   [&latencies, &failed, i,
+                    submit_time](const Result<DmQueryResult>& r) {
+                     latencies[i] = std::chrono::duration<double, std::milli>(
+                                        Clock::now() - submit_time)
+                                        .count();
+                     if (!r.ok()) failed.fetch_add(1, std::memory_order_relaxed);
+                   });
+  }
+  service.Drain();
+  const auto run_end = Clock::now();
+  service.Shutdown();
+
+  ThroughputReport report;
+  report.threads = threads;
+  report.queries = static_cast<int64_t>(workload.size());
+  report.wall_millis =
+      std::chrono::duration<double, std::milli>(run_end - run_start).count();
+  report.qps = report.wall_millis > 0
+                   ? 1000.0 * static_cast<double>(report.queries) /
+                         report.wall_millis
+                   : 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  report.p50_millis = Percentile(latencies, 0.50);
+  report.p99_millis = Percentile(latencies, 0.99);
+  report.disk_reads = store->env()->stats().disk_reads - reads0;
+  report.failed = failed.load();
+  return report;
+}
+
+}  // namespace dm

@@ -1,0 +1,147 @@
+#ifndef DIRECTMESH_SERVER_QUERY_SERVICE_H_
+#define DIRECTMESH_SERVER_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "dm/dm_query.h"
+#include "dm/dm_store.h"
+
+namespace dm {
+
+/// One query job for the serving pool: exactly one of the paper's
+/// query kinds, selected by `kind`.
+struct QueryRequest {
+  enum class Kind { kUniform, kView, kPerspective };
+  Kind kind = Kind::kView;
+  // kUniform: Q(M, roi, e).
+  Rect roi;
+  double e = 0.0;
+  // kView: single- or multi-base viewpoint-dependent query.
+  ViewQuery view;
+  bool multi_base = false;
+  // kPerspective: viewer-driven radial LOD field.
+  PerspectiveQuery perspective;
+};
+
+/// Completion callback; runs on a worker thread.
+using QueryCallback = std::function<void(const Result<DmQueryResult>&)>;
+
+struct QueryServiceOptions {
+  /// Fixed worker count (each worker owns one DmQueryProcessor).
+  int num_threads = 4;
+  /// Bounded queue depth; Submit blocks when the queue is full
+  /// (condition-variable backpressure instead of unbounded growth).
+  size_t queue_capacity = 64;
+};
+
+/// Fixed-size worker pool serving DM queries against one shared
+/// DmStore (immutable after Open; all mutable state lives in the
+/// thread-safe sharded buffer pool). Producers Submit jobs into a
+/// bounded MPMC queue; each worker runs its own DmQueryProcessor, so
+/// query CPU (refinement + triangulation) and shard-local page I/O
+/// overlap across clients.
+///
+/// Note on per-query stats under concurrency: `disk_accesses` /
+/// `index_io` are deltas of the pool's global counters, so with
+/// overlapping queries they attribute other workers' reads to this
+/// query. Geometry (vertices/positions/triangles) is exact and
+/// byte-identical to a serial run; aggregate disk reads are exact at
+/// the DbEnv level.
+class QueryService {
+ public:
+  explicit QueryService(DmStore* store,
+                        const QueryServiceOptions& options = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Enqueues a query, blocking while the queue is at capacity.
+  /// `done` runs on a worker thread once the query completes (it must
+  /// be its own synchronization domain). Returns false after
+  /// Shutdown().
+  bool Submit(QueryRequest request, QueryCallback done);
+
+  /// Blocks until every submitted job has completed.
+  void Drain();
+
+  /// Drains outstanding jobs, then stops and joins the workers.
+  /// Idempotent; called by the destructor.
+  void Shutdown();
+
+  int num_threads() const { return options_.num_threads; }
+  int64_t completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Job {
+    QueryRequest request;
+    QueryCallback done;
+  };
+
+  void WorkerLoop();
+  Result<DmQueryResult> Execute(DmQueryProcessor* proc,
+                                const QueryRequest& request) const;
+
+  DmStore* store_;
+  QueryServiceOptions options_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;  // workers wait for jobs
+  std::condition_variable not_full_;   // producers wait for space
+  std::condition_variable idle_;       // Drain waits for quiescence
+  std::deque<Job> queue_;
+  size_t in_flight_ = 0;  // dequeued but not yet completed
+  bool stopping_ = false;
+
+  std::atomic<int64_t> completed_{0};
+};
+
+/// A deterministic mixed serving workload over a store's footprint:
+/// `persp_pct`% perspective queries, `mb_pct`% of the remaining view
+/// queries multi-base, ROIs of `roi_fraction` of the bounds area at
+/// seeded random positions, LOD planes spanning up to half the LOD
+/// range. Shared by bench_throughput and `dmctl bench-serve`.
+std::vector<QueryRequest> MakeMixedWorkload(const Rect& bounds,
+                                            double max_lod, int count,
+                                            uint64_t seed,
+                                            double roi_fraction = 0.02,
+                                            int persp_pct = 40,
+                                            int mb_pct = 25);
+
+/// Result of one timed throughput run.
+struct ThroughputReport {
+  int threads = 0;
+  int64_t queries = 0;
+  double wall_millis = 0.0;
+  double qps = 0.0;
+  double p50_millis = 0.0;  // per-query latency, submit -> completion
+  double p99_millis = 0.0;
+  int64_t disk_reads = 0;  // aggregate over the run (warm cache)
+  int64_t failed = 0;
+
+  std::string ToString() const;
+};
+
+/// Replays `workload` through a QueryService with `threads` workers
+/// and reports throughput and latency percentiles. The cache is
+/// warmed (FlushDirty steady state), not flushed, so repeated runs
+/// measure serving capacity rather than cold-start I/O.
+Result<ThroughputReport> RunThroughput(DmStore* store,
+                                       const std::vector<QueryRequest>& workload,
+                                       int threads);
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_SERVER_QUERY_SERVICE_H_

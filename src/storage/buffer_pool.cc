@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace dm {
@@ -43,14 +45,24 @@ void PageGuard::Release() {
   }
 }
 
-BufferPool::BufferPool(DiskManager* disk, uint32_t capacity_pages)
+BufferPool::BufferPool(DiskManager* disk, uint32_t capacity_pages,
+                       uint32_t num_shards)
     : disk_(disk), capacity_(capacity_pages) {
   DM_CHECK(capacity_ > 0) << "buffer pool needs at least one frame";
-  frames_.resize(capacity_);
-  for (auto& f : frames_) f.data.resize(disk_->page_size());
-  free_list_.reserve(capacity_);
-  for (uint32_t i = 0; i < capacity_; ++i) {
-    free_list_.push_back(capacity_ - 1 - i);
+  num_shards = std::clamp<uint32_t>(num_shards, 1, capacity_);
+  shards_.reserve(num_shards);
+  const uint32_t base = capacity_ / num_shards;
+  const uint32_t extra = capacity_ % num_shards;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    const uint32_t frames = base + (s < extra ? 1 : 0);
+    shard->frames.resize(frames);
+    for (auto& f : shard->frames) f.data.resize(disk_->page_size());
+    shard->free_list.reserve(frames);
+    for (uint32_t i = 0; i < frames; ++i) {
+      shard->free_list.push_back(frames - 1 - i);
+    }
+    shards_.push_back(std::move(shard));
   }
 }
 
@@ -59,116 +71,251 @@ BufferPool::~BufferPool() {
   (void)FlushAll();
 }
 
+IoStats BufferPool::stats() const {
+  IoStats total;
+  for (const auto& s : shards_) {
+    total.logical_fetches += s->logical_fetches.load(std::memory_order_relaxed);
+    total.disk_reads += s->disk_reads.load(std::memory_order_relaxed);
+    total.disk_writes += s->disk_writes.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void BufferPool::ResetStats() {
+  for (const auto& s : shards_) {
+    s->logical_fetches.store(0, std::memory_order_relaxed);
+    s->disk_reads.store(0, std::memory_order_relaxed);
+    s->disk_writes.store(0, std::memory_order_relaxed);
+  }
+}
+
 int64_t BufferPool::pinned_frames() const {
   int64_t n = 0;
-  for (const auto& [id, idx] : page_table_) {
-    if (frames_[idx].pins > 0) ++n;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    for (const auto& [id, idx] : s->page_table) {
+      if (s->frames[idx].pins > 0) ++n;
+    }
   }
   return n;
 }
 
 int64_t BufferPool::total_pins() const {
   int64_t n = 0;
-  for (const auto& [id, idx] : page_table_) {
-    n += frames_[idx].pins;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    for (const auto& [id, idx] : s->page_table) {
+      n += s->frames[idx].pins;
+    }
   }
   return n;
 }
 
-Result<uint32_t> BufferPool::GetFreeFrame() {
-  if (!free_list_.empty()) {
-    const uint32_t idx = free_list_.back();
-    free_list_.pop_back();
+Result<uint32_t> BufferPool::GetFreeFrameLocked(Shard& s) {
+  if (!s.free_list.empty()) {
+    const uint32_t idx = s.free_list.back();
+    s.free_list.pop_back();
     return idx;
   }
-  if (lru_.empty()) {
+  if (s.lru.empty()) {
     return Status::Internal("buffer pool exhausted: all frames pinned");
   }
-  const uint32_t idx = lru_.front();
-  lru_.pop_front();
-  Frame& f = frames_[idx];
+  const uint32_t idx = s.lru.front();
+  s.lru.pop_front();
+  Frame& f = s.frames[idx];
   f.in_lru = false;
   if (f.dirty) {
     DM_RETURN_NOT_OK(disk_->WritePage(f.id, f.data.data()));
-    ++stats_.disk_writes;
+    s.disk_writes.fetch_add(1, std::memory_order_relaxed);
     f.dirty = false;
   }
-  page_table_.erase(f.id);
+  s.page_table.erase(f.id);
   return idx;
 }
 
-Result<PageGuard> BufferPool::Fetch(PageId id) {
-  ++stats_.logical_fetches;
-  auto it = page_table_.find(id);
-  if (it != page_table_.end()) {
-    Frame& f = frames_[it->second];
-    if (f.pins == 0 && f.in_lru) {
-      lru_.erase(f.lru_pos);
-      f.in_lru = false;
-    }
-    ++f.pins;
-    return PageGuard(this, id, f.data.data());
+uint8_t* BufferPool::PinIfPresentLocked(Shard& s, PageId id) {
+  auto it = s.page_table.find(id);
+  if (it == s.page_table.end()) return nullptr;
+  Frame& f = s.frames[it->second];
+  if (f.pins == 0 && f.in_lru) {
+    s.lru.erase(f.lru_pos);
+    f.in_lru = false;
   }
-  DM_ASSIGN_OR_RETURN(const uint32_t idx, GetFreeFrame());
-  Frame& f = frames_[idx];
-  DM_RETURN_NOT_OK(disk_->ReadPage(id, f.data.data()));
-  ++stats_.disk_reads;
+  ++f.pins;
+  return f.data.data();
+}
+
+Result<uint8_t*> BufferPool::InstallLocked(Shard& s, PageId id,
+                                           const uint8_t* data) {
+  DM_ASSIGN_OR_RETURN(const uint32_t idx, GetFreeFrameLocked(s));
+  Frame& f = s.frames[idx];
+  std::copy(data, data + disk_->page_size(), f.data.begin());
   f.id = id;
   f.pins = 1;
   f.dirty = false;
-  page_table_[id] = idx;
+  s.page_table[id] = idx;
+  return f.data.data();
+}
+
+Result<PageGuard> BufferPool::Fetch(PageId id) {
+  Shard& s = ShardFor(id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.logical_fetches.fetch_add(1, std::memory_order_relaxed);
+  if (uint8_t* data = PinIfPresentLocked(s, id)) {
+    return PageGuard(this, id, data);
+  }
+  DM_ASSIGN_OR_RETURN(const uint32_t idx, GetFreeFrameLocked(s));
+  Frame& f = s.frames[idx];
+  DM_RETURN_NOT_OK(disk_->ReadPage(id, f.data.data()));
+  s.disk_reads.fetch_add(1, std::memory_order_relaxed);
+  f.id = id;
+  f.pins = 1;
+  f.dirty = false;
+  s.page_table[id] = idx;
   return PageGuard(this, id, f.data.data());
+}
+
+uint32_t BufferPool::MaxRunPages() const {
+  uint32_t min_shard = capacity_;
+  for (const auto& s : shards_) {
+    min_shard = std::min(min_shard, static_cast<uint32_t>(s->frames.size()));
+  }
+  return std::max<uint32_t>(1, std::min<uint32_t>(32, min_shard));
+}
+
+Status BufferPool::FetchRun(PageId first, uint32_t n,
+                            std::vector<PageGuard>* out) {
+  DM_CHECK(out != nullptr) << "FetchRun into null output";
+  DM_CHECK(n > 0 && n <= MaxRunPages())
+      << "FetchRun of " << n << " pages exceeds the pin budget";
+  std::vector<PageGuard> guards(n);
+  std::vector<uint32_t> missing;  // offsets within the run
+  // Pass 1: pin resident pages, note misses.
+  for (uint32_t i = 0; i < n; ++i) {
+    const PageId id = first + i;
+    Shard& s = ShardFor(id);
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.logical_fetches.fetch_add(1, std::memory_order_relaxed);
+    if (uint8_t* data = PinIfPresentLocked(s, id)) {
+      guards[i] = PageGuard(this, id, data);
+    } else {
+      missing.push_back(i);
+    }
+  }
+  // Pass 2: read each maximal run of consecutive missing pages with a
+  // single scatter-gather call, outside any shard lock.
+  std::vector<uint8_t> scratch;
+  const uint32_t page_size = disk_->page_size();
+  for (size_t m = 0; m < missing.size();) {
+    size_t end = m + 1;
+    while (end < missing.size() && missing[end] == missing[end - 1] + 1) {
+      ++end;
+    }
+    const uint32_t run = static_cast<uint32_t>(end - m);
+    scratch.resize(static_cast<size_t>(run) * page_size);
+    DM_RETURN_NOT_OK(
+        disk_->ReadPages(first + missing[m], run, scratch.data()));
+    // Pass 3: install in ascending page order; another worker may have
+    // installed a page meanwhile, in which case its copy wins.
+    for (uint32_t r = 0; r < run; ++r) {
+      const uint32_t i = missing[m] + r;
+      const PageId id = first + i;
+      Shard& s = ShardFor(id);
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.disk_reads.fetch_add(1, std::memory_order_relaxed);
+      if (uint8_t* data = PinIfPresentLocked(s, id)) {
+        guards[i] = PageGuard(this, id, data);
+        continue;
+      }
+      DM_ASSIGN_OR_RETURN(
+          uint8_t* data,
+          InstallLocked(s, id,
+                        scratch.data() + static_cast<size_t>(r) * page_size));
+      guards[i] = PageGuard(this, id, data);
+    }
+    m = end;
+  }
+  out->reserve(out->size() + n);
+  for (auto& g : guards) out->push_back(std::move(g));
+  return Status::OK();
 }
 
 Result<PageGuard> BufferPool::NewPage() {
   DM_ASSIGN_OR_RETURN(const PageId id, disk_->AllocatePage());
-  DM_ASSIGN_OR_RETURN(const uint32_t idx, GetFreeFrame());
-  Frame& f = frames_[idx];
+  Shard& s = ShardFor(id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  DM_ASSIGN_OR_RETURN(const uint32_t idx, GetFreeFrameLocked(s));
+  Frame& f = s.frames[idx];
   std::fill(f.data.begin(), f.data.end(), 0);
   f.id = id;
   f.pins = 1;
   f.dirty = true;
-  page_table_[id] = idx;
+  s.page_table[id] = idx;
   return PageGuard(this, id, f.data.data());
 }
 
 void BufferPool::Unpin(PageId id) {
-  auto it = page_table_.find(id);
-  DM_CHECK(it != page_table_.end()) << "unpin of unmapped page " << id;
-  Frame& f = frames_[it->second];
+  Shard& s = ShardFor(id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.page_table.find(id);
+  DM_CHECK(it != s.page_table.end()) << "unpin of unmapped page " << id;
+  Frame& f = s.frames[it->second];
   DM_CHECK(f.pins > 0) << "pin/unpin imbalance on page " << id;
   if (--f.pins == 0) {
-    lru_.push_back(it->second);
-    f.lru_pos = std::prev(lru_.end());
+    s.lru.push_back(it->second);
+    f.lru_pos = std::prev(s.lru.end());
     f.in_lru = true;
   }
 }
 
 void BufferPool::MarkDirty(PageId id) {
-  auto it = page_table_.find(id);
-  DM_CHECK(it != page_table_.end()) << "MarkDirty on unmapped page " << id;
-  frames_[it->second].dirty = true;
+  Shard& s = ShardFor(id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.page_table.find(id);
+  DM_CHECK(it != s.page_table.end()) << "MarkDirty on unmapped page " << id;
+  s.frames[it->second].dirty = true;
 }
 
 Status BufferPool::FlushAll() {
-  for (uint32_t idx = 0; idx < capacity_; ++idx) {
-    Frame& f = frames_[idx];
-    if (f.id == kInvalidPage || page_table_.find(f.id) == page_table_.end())
-      continue;
-    if (page_table_[f.id] != idx) continue;
-    if (f.dirty) {
-      DM_RETURN_NOT_OK(disk_->WritePage(f.id, f.data.data()));
-      ++stats_.disk_writes;
-      f.dirty = false;
-    }
-    if (f.pins == 0) {
-      if (f.in_lru) {
-        lru_.erase(f.lru_pos);
-        f.in_lru = false;
+  for (const auto& sp : shards_) {
+    Shard& s = *sp;
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (uint32_t idx = 0; idx < s.frames.size(); ++idx) {
+      Frame& f = s.frames[idx];
+      if (f.id == kInvalidPage) continue;
+      auto it = s.page_table.find(f.id);
+      if (it == s.page_table.end() || it->second != idx) continue;
+      if (f.dirty) {
+        DM_RETURN_NOT_OK(disk_->WritePage(f.id, f.data.data()));
+        s.disk_writes.fetch_add(1, std::memory_order_relaxed);
+        f.dirty = false;
       }
-      page_table_.erase(f.id);
-      f.id = kInvalidPage;
-      free_list_.push_back(idx);
+      if (f.pins == 0) {
+        if (f.in_lru) {
+          s.lru.erase(f.lru_pos);
+          f.in_lru = false;
+        }
+        s.page_table.erase(f.id);
+        f.id = kInvalidPage;
+        s.free_list.push_back(idx);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushDirty() {
+  for (const auto& sp : shards_) {
+    Shard& s = *sp;
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (uint32_t idx = 0; idx < s.frames.size(); ++idx) {
+      Frame& f = s.frames[idx];
+      if (f.id == kInvalidPage || !f.dirty || f.pins > 0) continue;
+      auto it = s.page_table.find(f.id);
+      if (it == s.page_table.end() || it->second != idx) continue;
+      DM_RETURN_NOT_OK(disk_->WritePage(f.id, f.data.data()));
+      s.disk_writes.fetch_add(1, std::memory_order_relaxed);
+      f.dirty = false;
     }
   }
   return Status::OK();

@@ -1,9 +1,11 @@
 #ifndef DIRECTMESH_STORAGE_BUFFER_POOL_H_
 #define DIRECTMESH_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -58,20 +60,39 @@ class PageGuard {
   uint8_t* data_ = nullptr;
 };
 
-/// LRU buffer pool over a DiskManager. Single-threaded by design: the
-/// paper's workload is a single query stream, and keeping the pool
-/// lock-free makes the disk-access counts exactly reproducible.
+/// Sharded, thread-safe LRU buffer pool over a DiskManager. Pages hash
+/// to one of `num_shards` independent sub-pools, each with its own
+/// mutex, page table, LRU list, and free list, so concurrent query
+/// workers only contend when they touch the same shard. Per-shard I/O
+/// counters use relaxed atomics and are summed on read.
+///
+/// Paper-exact accounting: with `num_shards == 1` (the constructor
+/// default, used by every paper bench and by `DbOptions`) a single
+/// query stream sees exactly the eviction decisions — and therefore
+/// exactly the `disk_reads` counts — of the original single-threaded
+/// pool. Concurrent servers (QueryService, bench_throughput) pass
+/// `kDefaultShards`.
 class BufferPool {
  public:
-  BufferPool(DiskManager* disk, uint32_t capacity_pages);
+  /// Shard count used by the concurrent serving paths.
+  static constexpr uint32_t kDefaultShards = 16;
+
+  /// `num_shards` is clamped to [1, capacity_pages]; frames are split
+  /// evenly across shards (earlier shards take the remainder).
+  BufferPool(DiskManager* disk, uint32_t capacity_pages,
+             uint32_t num_shards = 1);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
   uint32_t capacity() const { return capacity_; }
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+  /// Aggregated counters (sum over shards).
+  IoStats stats() const;
+  void ResetStats();
 
   /// Number of frames currently holding at least one pin. A quiescent
   /// pool (no live PageGuard) must report 0; the invariant checker
@@ -83,12 +104,32 @@ class BufferPool {
   /// Fetches a page, reading from disk on miss.
   Result<PageGuard> Fetch(PageId id);
 
+  /// Pins `n` consecutive pages [first, first + n), coalescing runs of
+  /// pages that miss the pool into bulk `DiskManager::ReadPages`
+  /// calls. `out` receives one guard per page in ascending order.
+  /// `n` must not exceed `MaxRunPages()` (frames for the whole run are
+  /// pinned simultaneously). Accounting matches n sequential Fetch
+  /// calls: every miss counts one disk read.
+  Status FetchRun(PageId first, uint32_t n, std::vector<PageGuard>* out);
+
+  /// Largest run FetchRun accepts without risking frame exhaustion.
+  uint32_t MaxRunPages() const;
+
   /// Allocates a fresh zeroed page and returns it pinned and dirty.
   Result<PageGuard> NewPage();
 
   /// Writes back all dirty frames and drops every unpinned frame
-  /// (cold-cache state for the next query).
+  /// (cold-cache state for the next query). Requires quiescence: no
+  /// other thread may hold guards or fetch concurrently, because
+  /// pinned dirty frames are written back while their owner could
+  /// still be mutating them.
   Status FlushAll();
+
+  /// Writes back dirty *unpinned* frames without evicting anything —
+  /// warm-cache steady state for throughput benches. Safe to call
+  /// concurrently with readers: pinned frames (possibly mid-mutation)
+  /// are skipped and stay dirty.
+  Status FlushDirty();
 
  private:
   friend class PageGuard;
@@ -98,22 +139,49 @@ class BufferPool {
     std::vector<uint8_t> data;
     int32_t pins = 0;
     bool dirty = false;
-    // Position in lru_ when unpinned.
+    // Position in the shard's lru when unpinned.
     std::list<uint32_t>::iterator lru_pos;
     bool in_lru = false;
   };
 
+  /// One independent sub-pool. All mutable state is guarded by `mu`;
+  /// the stats counters are relaxed atomics so aggregation never
+  /// blocks a fetch.
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Frame> frames;
+    std::unordered_map<PageId, uint32_t> page_table;
+    std::list<uint32_t> lru;           // front = least recently used
+    std::vector<uint32_t> free_list;   // frames never used / dropped
+    std::atomic<int64_t> logical_fetches{0};
+    std::atomic<int64_t> disk_reads{0};
+    std::atomic<int64_t> disk_writes{0};
+  };
+
+  Shard& ShardFor(PageId id) {
+    if (shards_.size() == 1) return *shards_[0];
+    // Fibonacci hash spreads sequential page ids across shards.
+    const uint32_t h =
+        static_cast<uint32_t>(static_cast<uint64_t>(id) * 2654435769u);
+    return *shards_[(h >> 16) % shards_.size()];
+  }
+  const Shard& ShardFor(PageId id) const {
+    return const_cast<BufferPool*>(this)->ShardFor(id);
+  }
+
   void Unpin(PageId id);
   void MarkDirty(PageId id);
-  Result<uint32_t> GetFreeFrame();  // may evict
+  /// Requires s.mu held. May evict (writing back a dirty victim).
+  Result<uint32_t> GetFreeFrameLocked(Shard& s);
+  /// Requires s.mu held: pins the frame of `id` if resident.
+  uint8_t* PinIfPresentLocked(Shard& s, PageId id);
+  /// Requires s.mu held: claims a frame, installs `data` (page bytes)
+  /// under `id`, and pins it.
+  Result<uint8_t*> InstallLocked(Shard& s, PageId id, const uint8_t* data);
 
   DiskManager* disk_;
   uint32_t capacity_;
-  std::vector<Frame> frames_;
-  std::unordered_map<PageId, uint32_t> page_table_;
-  std::list<uint32_t> lru_;          // front = least recently used
-  std::vector<uint32_t> free_list_;  // frames never used / dropped
-  IoStats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace dm

@@ -7,7 +7,8 @@ Result<std::unique_ptr<DbEnv>> DbEnv::Open(const std::string& path,
   DM_ASSIGN_OR_RETURN(
       auto disk,
       DiskManager::Open(path, options.page_size, options.truncate));
-  auto pool = std::make_unique<BufferPool>(disk.get(), options.pool_pages);
+  auto pool = std::make_unique<BufferPool>(disk.get(), options.pool_pages,
+                                           options.pool_shards);
   return std::unique_ptr<DbEnv>(
       new DbEnv(std::move(disk), std::move(pool)));
 }

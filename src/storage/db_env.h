@@ -17,6 +17,11 @@ struct DbOptions {
   /// 4 KiB pages) is small relative to the datasets, as in the paper's
   /// 512 MB machine vs multi-GB terrain; the buffer ablation sweeps it.
   uint32_t pool_pages = 2048;
+  /// Buffer pool shards. Defaults to 1 so the paper benches reproduce
+  /// the single-LRU eviction decisions (and disk-access counts) of the
+  /// original pool exactly; concurrent servers set
+  /// `BufferPool::kDefaultShards` (16) to spread lock contention.
+  uint32_t pool_shards = 1;
   bool truncate = true;
 };
 
@@ -24,6 +29,10 @@ struct DbOptions {
 /// a dataset (heap files, B+-trees, R*-trees, quadtrees), fronted by
 /// one buffer pool. Disk-access accounting is therefore global across
 /// structures, matching how the paper reads Oracle's counters.
+///
+/// Concurrency: the pool and disk manager are thread-safe; the
+/// structures above them are immutable after build/open, so their
+/// const read paths may run from many threads at once (DESIGN.md §8).
 class DbEnv {
  public:
   static Result<std::unique_ptr<DbEnv>> Open(const std::string& path,
@@ -33,11 +42,16 @@ class DbEnv {
   DiskManager& disk() { return *disk_; }
   uint32_t page_size() const { return disk_->page_size(); }
 
-  const IoStats& stats() const { return pool_->stats(); }
+  IoStats stats() const { return pool_->stats(); }
   void ResetStats() { pool_->ResetStats(); }
 
   /// Cold-cache reset: write back dirty pages and empty the pool.
+  /// Requires quiescence (see BufferPool::FlushAll).
   Status FlushAll() { return pool_->FlushAll(); }
+
+  /// Write-back without eviction (warm-cache steady state); safe to
+  /// call while readers are active.
+  Status FlushDirty() { return pool_->FlushDirty(); }
 
  private:
   DbEnv(std::unique_ptr<DiskManager> disk, std::unique_ptr<BufferPool> pool)

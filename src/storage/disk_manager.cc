@@ -1,14 +1,57 @@
 #include "storage/disk_manager.h"
 
-#include <memory>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
 #include <vector>
 
 #include "common/check.h"
 
 namespace dm {
 
+namespace {
+
+/// Full-length positioned read; retries on EINTR and partial transfers.
+/// Returns the number of bytes read (short only at EOF) or -1 on error.
+ssize_t PreadFull(int fd, uint8_t* buf, size_t count, off_t offset) {
+  size_t done = 0;
+  while (done < count) {
+    const ssize_t n =
+        ::pread(fd, buf + done, count - done, offset + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) break;  // EOF
+    done += static_cast<size_t>(n);
+  }
+  return static_cast<ssize_t>(done);
+}
+
+/// Full-length positioned write; retries on EINTR and partial transfers.
+bool PwriteFull(int fd, const uint8_t* buf, size_t count, off_t offset) {
+  size_t done = 0;
+  while (done < count) {
+    const ssize_t n = ::pwrite(fd, buf + done, count - done,
+                               offset + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
 DiskManager::~DiskManager() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (fd_ >= 0) ::close(fd_);
 }
 
 Result<std::unique_ptr<DiskManager>> DiskManager::Open(
@@ -16,56 +59,77 @@ Result<std::unique_ptr<DiskManager>> DiskManager::Open(
   if (page_size < 256 || (page_size & (page_size - 1)) != 0) {
     return Status::InvalidArgument("page size must be a power of two >= 256");
   }
-  std::FILE* f = std::fopen(path.c_str(), truncate ? "wb+" : "rb+");
-  if (f == nullptr && !truncate) f = std::fopen(path.c_str(), "wb+");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
+  int flags = O_RDWR | O_CREAT;
+  if (truncate) flags |= O_TRUNC;
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return Status::IOError("cannot open " + path);
 
-  if (std::fseek(f, 0, SEEK_END) != 0) {
-    std::fclose(f);
-    return Status::IOError("seek failed on " + path);
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("stat failed on " + path);
   }
-  const long size = std::ftell(f);
-  const PageId pages = static_cast<PageId>(static_cast<uint64_t>(size) /
-                                           page_size);
-  return std::unique_ptr<DiskManager>(new DiskManager(f, page_size, pages));
+  const PageId pages =
+      static_cast<PageId>(static_cast<uint64_t>(st.st_size) / page_size);
+  return std::unique_ptr<DiskManager>(new DiskManager(fd, page_size, pages));
 }
 
 Result<PageId> DiskManager::AllocatePage() {
-  const PageId id = num_pages_;
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  const PageId id = num_pages_.load(std::memory_order_relaxed);
   std::vector<uint8_t> zero(page_size_, 0);
-  if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0) {
-    return Status::IOError("seek failed extending file");
-  }
-  if (std::fwrite(zero.data(), 1, page_size_, file_) != page_size_) {
+  if (!PwriteFull(fd_, zero.data(), page_size_,
+                  static_cast<off_t>(id) * page_size_)) {
     return Status::IOError("short write extending file");
   }
-  ++num_pages_;
+  num_pages_.store(id + 1, std::memory_order_relaxed);
   return id;
 }
 
 Status DiskManager::ReadPage(PageId id, uint8_t* out) {
-  DM_CHECK(out != nullptr) << "ReadPage into null buffer";
-  if (id >= num_pages_) {
-    return Status::OutOfRange("page " + std::to_string(id) + " beyond EOF");
+  return ReadPages(id, 1, out);
+}
+
+Status DiskManager::ReadPages(PageId first, uint32_t n, uint8_t* out) {
+  DM_CHECK(out != nullptr) << "ReadPages into null buffer";
+  if (n == 0) return Status::OK();
+  const PageId limit = num_pages_.load(std::memory_order_relaxed);
+  if (first >= limit || n > limit - first) {
+    return Status::OutOfRange("pages [" + std::to_string(first) + ", " +
+                              std::to_string(first + n) + ") beyond EOF");
   }
-  if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0) {
-    return Status::IOError("seek failed");
+  if (simulated_read_latency_micros_ > 0) {
+    // Models seek + transfer of a disk-bound store (the paper's
+    // regime); sleeping blocks only this thread, so concurrent
+    // readers overlap their "I/O" exactly as with a real device.
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        static_cast<uint64_t>(simulated_read_latency_micros_) * n));
   }
-  if (std::fread(out, 1, page_size_, file_) != page_size_) {
-    return Status::IOError("short read of page " + std::to_string(id));
+  const size_t total = static_cast<size_t>(n) * page_size_;
+  const ssize_t got =
+      PreadFull(fd_, out, total, static_cast<off_t>(first) * page_size_);
+  if (got == static_cast<ssize_t>(total)) return Status::OK();
+  // Short or failed bulk read (sparse tail, racing extension): fall
+  // back to one pread per page so the failing page is identified.
+  for (uint32_t i = 0; i < n; ++i) {
+    const ssize_t one =
+        PreadFull(fd_, out + static_cast<size_t>(i) * page_size_, page_size_,
+                  static_cast<off_t>(first + i) * page_size_);
+    if (one != static_cast<ssize_t>(page_size_)) {
+      return Status::IOError("short read of page " +
+                             std::to_string(first + i));
+    }
   }
   return Status::OK();
 }
 
 Status DiskManager::WritePage(PageId id, const uint8_t* data) {
   DM_CHECK(data != nullptr) << "WritePage from null buffer";
-  if (id >= num_pages_) {
+  if (id >= num_pages_.load(std::memory_order_relaxed)) {
     return Status::OutOfRange("page " + std::to_string(id) + " beyond EOF");
   }
-  if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0) {
-    return Status::IOError("seek failed");
-  }
-  if (std::fwrite(data, 1, page_size_, file_) != page_size_) {
+  if (!PwriteFull(fd_, data, page_size_,
+                  static_cast<off_t>(id) * page_size_)) {
     return Status::IOError("short write of page " + std::to_string(id));
   }
   return Status::OK();

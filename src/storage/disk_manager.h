@@ -1,9 +1,10 @@
 #ifndef DIRECTMESH_STORAGE_DISK_MANAGER_H_
 #define DIRECTMESH_STORAGE_DISK_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
-#include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
@@ -16,6 +17,11 @@ namespace dm {
 /// buffer pool above it sees the union of their page traffic — the
 /// same accounting granularity as the Oracle statistics report the
 /// paper measures disk accesses from.
+///
+/// Thread-safe: reads and writes use positioned I/O (`pread`/`pwrite`)
+/// on a shared file descriptor, so concurrent calls from the sharded
+/// buffer pool never interleave a seek with another thread's transfer.
+/// `AllocatePage` serializes on an internal mutex.
 class DiskManager {
  public:
   DiskManager(const DiskManager&) = delete;
@@ -28,7 +34,9 @@ class DiskManager {
                                                    bool truncate);
 
   uint32_t page_size() const { return page_size_; }
-  PageId num_pages() const { return num_pages_; }
+  PageId num_pages() const {
+    return num_pages_.load(std::memory_order_relaxed);
+  }
 
   /// Extends the file by one zeroed page and returns its id.
   Result<PageId> AllocatePage();
@@ -36,16 +44,38 @@ class DiskManager {
   /// Reads page `id` into `out` (page_size bytes).
   Status ReadPage(PageId id, uint8_t* out);
 
+  /// Reads `n` consecutive pages starting at `first` into `out`
+  /// (n * page_size bytes) with a single positioned read — the
+  /// scatter-gather path the batched heap fetch uses to cut syscalls
+  /// on large cubes. Falls back to a per-page `pread` loop when the
+  /// kernel returns a short read.
+  Status ReadPages(PageId first, uint32_t n, uint8_t* out);
+
   /// Writes page `id` from `data` (page_size bytes).
   Status WritePage(PageId id, const uint8_t* data);
 
- private:
-  DiskManager(std::FILE* file, uint32_t page_size, PageId num_pages)
-      : file_(file), page_size_(page_size), num_pages_(num_pages) {}
+  /// Adds a fixed sleep of `micros` per page read, modelling the
+  /// disk-bound regime the paper measures (its datasets dwarf RAM;
+  /// ours sit in the OS page cache, where a pread costs microseconds).
+  /// Throughput benches use this so I/O overlap across worker threads
+  /// is observable; 0 (the default) turns it off and is the paper-
+  /// exact configuration. Not thread-safe; set before serving starts.
+  void set_simulated_read_latency_micros(uint32_t micros) {
+    simulated_read_latency_micros_ = micros;
+  }
+  uint32_t simulated_read_latency_micros() const {
+    return simulated_read_latency_micros_;
+  }
 
-  std::FILE* file_;
+ private:
+  DiskManager(int fd, uint32_t page_size, PageId num_pages)
+      : fd_(fd), page_size_(page_size), num_pages_(num_pages) {}
+
+  int fd_;
   uint32_t page_size_;
-  PageId num_pages_;
+  std::atomic<PageId> num_pages_;
+  std::mutex alloc_mu_;  // serializes file extension
+  uint32_t simulated_read_latency_micros_ = 0;
 };
 
 }  // namespace dm

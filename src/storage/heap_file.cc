@@ -95,24 +95,83 @@ Result<RecordId> HeapFile::Append(const uint8_t* data, uint32_t size) {
   return RecordId{page.id(), slot_count};
 }
 
+namespace {
+
+/// Locates record `slot` inside a pinned page, validating the slot
+/// directory before any bytes are touched.
+Status LocateSlot(const uint8_t* page_data, uint32_t page_size, PageId page_id,
+                  uint16_t slot_idx, const uint8_t** data, uint16_t* len) {
+  const uint16_t slot_count = LoadU16(page_data + kSlotCountOff);
+  if (slot_idx >= slot_count) {
+    return Status::NotFound("slot " + std::to_string(slot_idx) +
+                            " out of range on page " +
+                            std::to_string(page_id));
+  }
+  const uint8_t* slot = page_data + page_size - (slot_idx + 1u) * kSlotSize;
+  const uint16_t off = LoadU16(slot);
+  *len = LoadU16(slot + 2);
+  DM_ENSURE(off >= kHeaderSize &&
+                static_cast<uint32_t>(off) + *len <= page_size,
+            Status::Corruption("slot " + std::to_string(slot_idx) +
+                               " on page " + std::to_string(page_id) +
+                               " points outside the page"));
+  *data = page_data + off;
+  return Status::OK();
+}
+
+}  // namespace
+
 Status HeapFile::Get(RecordId rid, std::vector<uint8_t>* out) const {
   DM_ASSIGN_OR_RETURN(PageGuard page, env_->pool().Fetch(rid.page));
-  const uint16_t slot_count = LoadU16(page.data() + kSlotCountOff);
-  if (rid.slot >= slot_count) {
-    return Status::NotFound("slot " + std::to_string(rid.slot) +
-                            " out of range on page " +
-                            std::to_string(rid.page));
+  const uint8_t* data = nullptr;
+  uint16_t len = 0;
+  DM_RETURN_NOT_OK(LocateSlot(page.data(), env_->page_size(), rid.page,
+                              rid.slot, &data, &len));
+  out->assign(data, data + len);
+  return Status::OK();
+}
+
+Status HeapFile::GetMany(
+    const std::vector<RecordId>& rids,
+    const std::function<Status(RecordId, const uint8_t*, uint32_t)>& callback)
+    const {
+  const uint32_t max_run = env_->pool().MaxRunPages();
+  size_t i = 0;
+  while (i < rids.size()) {
+    // Grow a run of consecutive distinct pages, capped by the pool's
+    // pin budget.
+    const PageId first = rids[i].page;
+    PageId last = first;
+    uint32_t npages = 1;
+    size_t j = i + 1;
+    for (; j < rids.size(); ++j) {
+      DM_DCHECK(rids[j - 1].Pack() <= rids[j].Pack())
+          << "GetMany requires rids sorted by (page, slot)";
+      const PageId p = rids[j].page;
+      if (p == last) continue;
+      if (p == last + 1 && npages < max_run) {
+        last = p;
+        ++npages;
+        continue;
+      }
+      break;
+    }
+    std::vector<PageGuard> guards;
+    DM_RETURN_NOT_OK(env_->pool().FetchRun(first, npages, &guards));
+    for (size_t k = i; k < j; ++k) {
+      const RecordId rid = rids[k];
+      const uint8_t* data = nullptr;
+      uint16_t len = 0;
+      DM_RETURN_NOT_OK(LocateSlot(guards[rid.page - first].data(),
+                                  env_->page_size(), rid.page, rid.slot,
+                                  &data, &len));
+      DM_RETURN_NOT_OK(callback(rid, data, len));
+    }
+    // Release pins in ascending page order so the LRU ends up exactly
+    // as a sequence of per-record Get calls would have left it.
+    for (auto& g : guards) g.Release();
+    i = j;
   }
-  const uint8_t* slot =
-      page.data() + env_->page_size() - (rid.slot + 1u) * kSlotSize;
-  const uint16_t off = LoadU16(slot);
-  const uint16_t len = LoadU16(slot + 2);
-  DM_ENSURE(off >= kHeaderSize &&
-                static_cast<uint32_t>(off) + len <= env_->page_size(),
-            Status::Corruption("slot " + std::to_string(rid.slot) +
-                               " on page " + std::to_string(rid.page) +
-                               " points outside the page"));
-  out->assign(page.data() + off, page.data() + off + len);
   return Status::OK();
 }
 

@@ -20,6 +20,10 @@ namespace dm {
 ///
 /// Terrain nodes are appended in Hilbert order of their (x, y) so disk
 /// pages preserve spatial clustering, as the paper's setup requires.
+///
+/// Concurrency: `Get`, `GetMany`, and `Scan` are const and safe to
+/// call from many threads once building is done (all mutable state is
+/// behind the thread-safe buffer pool). `Append` is single-writer.
 class HeapFile {
  public:
   /// Creates a new heap file in `env`, allocating its first page.
@@ -40,6 +44,18 @@ class HeapFile {
 
   /// Reads record `rid` into `out` (replacing its contents).
   Status Get(RecordId rid, std::vector<uint8_t>* out) const;
+
+  /// Batch point lookup: `rids` must be sorted ascending by
+  /// (page, slot) — the order `RecordId::Pack` sorts in. Runs of
+  /// adjacent heap pages are pinned together and their misses
+  /// coalesced into single scatter-gather disk reads
+  /// (DiskManager::ReadPages), cutting syscalls on large fetch cubes.
+  /// Disk-read accounting matches per-record Get calls exactly. The
+  /// callback sees each record's bytes in `rids` order.
+  Status GetMany(
+      const std::vector<RecordId>& rids,
+      const std::function<Status(RecordId, const uint8_t*, uint32_t)>&
+          callback) const;
 
   /// Full scan in storage order. The callback may return false to stop.
   Status Scan(const std::function<bool(RecordId, const uint8_t*, uint32_t)>&

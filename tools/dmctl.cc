@@ -32,7 +32,9 @@
 #include "mesh/obj_io.h"
 #include "mesh/render.h"
 #include "pm/pm_tree.h"
+#include "server/query_service.h"
 #include "simplify/simplifier.h"
+#include "storage/buffer_pool.h"
 #include "storage/db_env.h"
 
 namespace dm {
@@ -88,7 +90,11 @@ int Usage() {
       "  dmctl query --db BASE --roi x0,y0,x1,y1 (--lod E | --keep F) "
       "[--obj OUT] [--ppm OUT]\n"
       "  dmctl view  --db BASE --roi x0,y0,x1,y1 --emin E --emax E "
-      "[--single] [--obj OUT] [--ppm OUT]\n");
+      "[--single] [--obj OUT] [--ppm OUT]\n"
+      "  dmctl bench-serve --db BASE [--threads 1,2,4] [--queries N] "
+      "[--duration-ms MS] [--persp-pct P] [--mb-pct P] [--roi-pct P]\n"
+      "              [--shards N] [--read-latency-us N] [--seed S] "
+      "[--json OUT]\n");
   return 2;
 }
 
@@ -250,13 +256,17 @@ struct OpenDb {
   LoadedMeta lm;
 };
 
-Result<OpenDb> Open(const Args& args) {
+Result<OpenDb> Open(const Args& args, uint32_t default_pool_shards = 1) {
   const std::string base = args.Get("db");
   if (base.empty()) return Status::InvalidArgument("--db required");
   OpenDb db;
   DM_ASSIGN_OR_RETURN(db.lm, LoadMeta(base + ".meta"));
   DbOptions options;
   options.truncate = false;
+  // Paper-exact single shard unless the caller serves concurrently
+  // (bench-serve) or --shards overrides.
+  options.pool_shards =
+      static_cast<uint32_t>(args.GetInt("shards", default_pool_shards));
   DM_ASSIGN_OR_RETURN(db.env, DbEnv::Open(base + ".db", options));
   DM_ASSIGN_OR_RETURN(DmStore store, DmStore::Open(db.env.get(), db.lm.meta));
   db.store = std::make_unique<DmStore>(std::move(store));
@@ -365,6 +375,82 @@ Status RunView(const Args& args) {
   return ExportResult(args, r);
 }
 
+// Replays a deterministic mixed workload through the QueryService at
+// each requested worker count; the CLI analogue of bench_throughput
+// for an already-built database.
+Status RunBenchServe(const Args& args) {
+  DM_ASSIGN_OR_RETURN(OpenDb db, Open(args, BufferPool::kDefaultShards));
+  db.env->disk().set_simulated_read_latency_micros(
+      static_cast<uint32_t>(args.GetInt("read-latency-us", 0)));
+
+  std::vector<int> thread_counts;
+  {
+    std::stringstream ss(args.Get("threads", "1,2,4"));
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      const int t = std::atoi(tok.c_str());
+      if (t <= 0 || t > 256) {
+        return Status::InvalidArgument("bad --threads entry: " + tok);
+      }
+      thread_counts.push_back(t);
+    }
+    if (thread_counts.empty()) {
+      return Status::InvalidArgument("--threads list is empty");
+    }
+  }
+
+  int count = static_cast<int>(args.GetInt("queries", 256));
+  if (count <= 0) return Status::InvalidArgument("--queries must be > 0");
+  const DmMeta& meta = db.lm.meta;
+  const auto make_workload = [&](int n) {
+    return MakeMixedWorkload(
+        meta.bounds, meta.max_lod, n,
+        static_cast<uint64_t>(args.GetInt("seed", 12345)),
+        args.GetDouble("roi-pct", 2.0) / 100.0,
+        static_cast<int>(args.GetInt("persp-pct", 40)),
+        static_cast<int>(args.GetInt("mb-pct", 25)));
+  };
+  std::vector<QueryRequest> workload = make_workload(count);
+
+  // Untimed pass: warms the pool and, with --duration-ms, calibrates
+  // how many queries fill the requested wall time per configuration.
+  DM_ASSIGN_OR_RETURN(const ThroughputReport warm,
+                      RunThroughput(db.store.get(), workload, 1));
+  std::printf("warm-up: %s\n", warm.ToString().c_str());
+  const double duration_ms = args.GetDouble("duration-ms", 0.0);
+  if (duration_ms > 0 && warm.qps > 0) {
+    const int scaled = static_cast<int>(warm.qps * duration_ms / 1000.0) + 1;
+    if (scaled > count) workload = make_workload(scaled);
+  }
+
+  std::vector<ThroughputReport> reports;
+  for (int threads : thread_counts) {
+    DM_ASSIGN_OR_RETURN(const ThroughputReport r,
+                        RunThroughput(db.store.get(), workload, threads));
+    std::printf("%s\n", r.ToString().c_str());
+    reports.push_back(r);
+  }
+
+  const std::string json_path = args.Get("json");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) return Status::IOError("cannot write " + json_path);
+    out << "{\"bench\": \"bench_serve\", \"metrics\": {";
+    out << "\"queries\": " << reports.front().queries;
+    for (const ThroughputReport& r : reports) {
+      const std::string p = "\"threads_" + std::to_string(r.threads) + "/";
+      out << ", " << p << "qps\": " << r.qps;
+      out << ", " << p << "p50_millis\": " << r.p50_millis;
+      out << ", " << p << "p99_millis\": " << r.p99_millis;
+      out << ", " << p << "disk_reads\": " << r.disk_reads;
+      out << ", " << p << "failed\": " << r.failed;
+    }
+    out << "}}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return Status::OK();
+}
+
 int Main(int argc, char** argv) {
   const Args args = ParseArgs(argc, argv);
   Status st;
@@ -378,6 +464,8 @@ int Main(int argc, char** argv) {
     st = RunQuery(args);
   } else if (args.command == "view") {
     st = RunView(args);
+  } else if (args.command == "bench-serve") {
+    st = RunBenchServe(args);
   } else {
     return Usage();
   }
