@@ -1,0 +1,362 @@
+// Query hot-path microbenchmark: measures what the decoded-node cache
+// and the per-query arena each buy on a single-threaded query stream.
+//
+// Four configurations run the same deterministic mixed workload (see
+// MakeMixedWorkload) against one store:
+//
+//   baseline     node_cache_bytes=0, arena off  (the seed's hot path)
+//   arena        node_cache_bytes=0, arena on
+//   cache        cache on,           arena off
+//   cache_arena  cache on,           arena on   (the serving default)
+//
+// Each configuration gets one untimed warm-up replay (fills the buffer
+// pool and, when enabled, the node cache), then a timed replay loop.
+// Reported per configuration: qps, allocations/query (the binary
+// overrides global operator new to count them), disk reads, and node
+// cache hit/miss totals. Headline metrics `speedup_cache_warm` (qps of
+// cache_arena over baseline) and `alloc_reduction_arena` (allocs/query
+// of cache over cache_arena) are what ISSUE acceptance tracks.
+//
+// As in bench_throughput, page reads carry a simulated device latency
+// (--read-latency-us) and the pool is sized below the working set
+// (--pool-pages), modelling the paper's disk-bound regime; the node
+// cache then removes the heap-page portion of that I/O entirely.
+//
+// Usage: bench_hotpath [--tiny] [--queries=N] [--repeats=N]
+//                      [--read-latency-us=N] [--pool-pages=N]
+//                      [--cache-bytes=N] [--out=BENCH_hotpath.json]
+
+#include <execinfo.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "server/query_service.h"
+#include "storage/buffer_pool.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter. Overriding the global operators in the
+// bench binary counts every heap allocation on the query path without
+// instrumenting the library; relaxed atomics keep the overhead to a
+// few nanoseconds per call.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<int64_t> g_allocs{0};
+std::atomic<int64_t> g_alloc_bytes{0};
+// --trace-allocs: dump a raw backtrace for every allocation inside the
+// traced timed region to stderr (resolve with addr2line). Debug aid for
+// hunting residual hot-path allocations; off in normal runs.
+std::atomic<bool> g_trace{false};
+thread_local bool t_in_trace = false;
+
+void MaybeTrace(std::size_t n) {
+  if (!g_trace.load(std::memory_order_relaxed) || t_in_trace) return;
+  t_in_trace = true;  // backtrace() itself may allocate on first use
+  void* frames[24];
+  const int depth = backtrace(frames, 24);
+  dprintf(2, "----ALLOC %zu----\n", n);
+  backtrace_symbols_fd(frames, depth, 2);
+  t_in_trace = false;
+}
+
+void* CountedAlloc(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(static_cast<int64_t>(n), std::memory_order_relaxed);
+  MaybeTrace(n);
+  void* p = std::malloc(n != 0 ? n : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* CountedAlignedAlloc(std::size_t n, std::size_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(static_cast<int64_t>(n), std::memory_order_relaxed);
+  MaybeTrace(n);
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     n != 0 ? n : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return CountedAlloc(n); }
+void* operator new[](std::size_t n) { return CountedAlloc(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  return CountedAlignedAlloc(n, static_cast<std::size_t>(al));
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return CountedAlignedAlloc(n, static_cast<std::size_t>(al));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace dm::bench {
+namespace {
+
+struct CliOptions {
+  bool tiny = false;
+  int queries = 100;
+  int repeats = 3;
+  int read_latency_us = 150;
+  int pool_pages = 64;
+  // 64 MiB default: comfortably holds the bench datasets' decoded
+  // nodes, so the warm passes measure the pure hit path.
+  size_t cache_bytes = 64u << 20;
+  // Denser than the serving default (0.02): hot-path A/B wants cuts of
+  // tens-to-hundreds of nodes, the regime the paper's queries operate
+  // in, so per-node costs (decode, adjacency scratch) dominate the
+  // fixed per-query overhead.
+  double roi_fraction = 0.25;
+  std::string out = "BENCH_hotpath.json";
+  bool trace_allocs = false;
+};
+
+bool ParseArgs(int argc, char** argv, CliOptions* opts) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--tiny") == 0) {
+      opts->tiny = true;
+    } else if (std::strncmp(arg, "--queries=", 10) == 0) {
+      opts->queries = std::atoi(arg + 10);
+      if (opts->queries <= 0) return false;
+    } else if (std::strncmp(arg, "--repeats=", 10) == 0) {
+      opts->repeats = std::atoi(arg + 10);
+      if (opts->repeats <= 0) return false;
+    } else if (std::strncmp(arg, "--read-latency-us=", 18) == 0) {
+      opts->read_latency_us = std::atoi(arg + 18);
+      if (opts->read_latency_us < 0) return false;
+    } else if (std::strncmp(arg, "--pool-pages=", 13) == 0) {
+      opts->pool_pages = std::atoi(arg + 13);
+      if (opts->pool_pages < 16) return false;
+    } else if (std::strncmp(arg, "--cache-bytes=", 14) == 0) {
+      const long long v = std::atoll(arg + 14);
+      if (v <= 0) return false;
+      opts->cache_bytes = static_cast<size_t>(v);
+    } else if (std::strncmp(arg, "--roi-fraction=", 15) == 0) {
+      opts->roi_fraction = std::atof(arg + 15);
+      if (opts->roi_fraction <= 0 || opts->roi_fraction > 1) return false;
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      opts->out = arg + 6;
+    } else if (std::strcmp(arg, "--trace-allocs") == 0) {
+      opts->trace_allocs = true;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s\nusage: bench_hotpath [--tiny] "
+                   "[--queries=N] [--repeats=N] [--read-latency-us=N] "
+                   "[--pool-pages=N] [--cache-bytes=N] [--out=FILE]\n",
+                   arg);
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<DmQueryResult> RunOne(DmQueryProcessor* proc,
+                             const QueryRequest& req) {
+  switch (req.kind) {
+    case QueryRequest::Kind::kUniform:
+      return proc->ViewpointIndependent(req.roi, req.e);
+    case QueryRequest::Kind::kView:
+      return req.multi_base ? proc->MultiBase(req.view)
+                            : proc->SingleBase(req.view);
+    case QueryRequest::Kind::kPerspective:
+      return proc->Perspective(req.perspective);
+  }
+  return Status::InvalidArgument("unknown query kind");
+}
+
+struct ConfigResult {
+  double qps = 0.0;
+  double allocs_per_query = 0.0;
+  double alloc_kb_per_query = 0.0;
+  double disk_reads_per_query = 0.0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  bool ok = true;
+};
+
+// Debug hooks: breakpoints for allocation tracing (see tools notes).
+extern "C" void BenchTimedRegionBegin() { asm volatile("" ::: "memory"); }
+extern "C" void BenchTimedRegionEnd() { asm volatile("" ::: "memory"); }
+
+ConfigResult RunConfig(DmStore* store,
+                       const std::vector<QueryRequest>& workload,
+                       size_t cache_bytes, bool use_arena, int repeats,
+                       bool trace_allocs = false) {
+  ConfigResult res;
+  store->EnableNodeCache(cache_bytes);
+
+  DmQueryOptions qopts;
+  qopts.use_arena = use_arena;
+  DmQueryProcessor proc(store, qopts);
+
+  // Untimed warm-up: steady-state buffer pool, full node cache, warm
+  // arena slab. The timed passes then measure the serving regime.
+  for (const QueryRequest& req : workload) {
+    if (!RunOne(&proc, req).ok()) {
+      res.ok = false;
+      return res;
+    }
+  }
+
+  const NodeCacheStats cache0 = store->node_cache_stats();
+  const int64_t reads0 = store->env()->stats().disk_reads;
+  const int64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+  const int64_t bytes0 = g_alloc_bytes.load(std::memory_order_relaxed);
+  BenchTimedRegionBegin();
+  if (trace_allocs) g_trace.store(true, std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < repeats; ++r) {
+    for (const QueryRequest& req : workload) {
+      if (!RunOne(&proc, req).ok()) {
+        res.ok = false;
+        return res;
+      }
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  if (trace_allocs) g_trace.store(false, std::memory_order_relaxed);
+  BenchTimedRegionEnd();
+  const double wall_millis =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const double n =
+      static_cast<double>(workload.size()) * static_cast<double>(repeats);
+
+  res.qps = wall_millis > 0 ? 1000.0 * n / wall_millis : 0.0;
+  res.allocs_per_query =
+      static_cast<double>(g_allocs.load(std::memory_order_relaxed) -
+                          allocs0) /
+      n;
+  res.alloc_kb_per_query =
+      static_cast<double>(g_alloc_bytes.load(std::memory_order_relaxed) -
+                          bytes0) /
+      (1024.0 * n);
+  res.disk_reads_per_query =
+      static_cast<double>(store->env()->stats().disk_reads - reads0) / n;
+  const NodeCacheStats cache1 = store->node_cache_stats();
+  res.cache_hits = cache1.hits - cache0.hits;
+  res.cache_misses = cache1.misses - cache0.misses;
+  return res;
+}
+
+int Main(int argc, char** argv) {
+  CliOptions opts;
+  if (!ParseArgs(argc, argv, &opts)) return 2;
+
+  DatasetSpec spec = SmallDatasetSpec();
+  if (opts.tiny) {
+    spec.name = "tiny";
+    spec.side = 65;
+  }
+  DbOptions db_options;
+  // Single shard everywhere: this bench is single-threaded, and one
+  // LRU makes the cache-off disk-read counts reproduce the seed's.
+  db_options.pool_shards = 1;
+  db_options.pool_pages = static_cast<uint32_t>(opts.pool_pages);
+  std::fprintf(stderr, "[bench] preparing dataset '%s' (%d x %d)...\n",
+               spec.name.c_str(), spec.side, spec.side);
+  auto ctx_or = BenchContext::Create(BenchDataDir(), spec, db_options);
+  if (!ctx_or.ok()) {
+    std::fprintf(stderr, "dataset build failed: %s\n",
+                 ctx_or.status().ToString().c_str());
+    return 1;
+  }
+  BenchContext ctx = std::move(ctx_or).value();
+  BuiltDataset& ds = ctx.mutable_dataset();
+  DmStore* store = &ds.dm.value();
+  ds.dm_env->disk().set_simulated_read_latency_micros(
+      static_cast<uint32_t>(opts.read_latency_us));
+
+  const std::vector<QueryRequest> workload =
+      MakeMixedWorkload(ds.bounds, ds.max_lod, opts.queries, /*seed=*/4242,
+                        opts.roi_fraction);
+
+  struct Config {
+    const char* name;
+    size_t cache_bytes;
+    bool use_arena;
+  };
+  const Config configs[] = {
+      {"baseline", 0, false},
+      {"arena", 0, true},
+      {"cache", opts.cache_bytes, false},
+      {"cache_arena", opts.cache_bytes, true},
+  };
+
+  BenchJsonWriter writer("bench_hotpath");
+  writer.Add("queries", static_cast<double>(opts.queries));
+  writer.Add("repeats", static_cast<double>(opts.repeats));
+  writer.Add("dataset_side", static_cast<double>(spec.side));
+  writer.Add("read_latency_us", static_cast<double>(opts.read_latency_us));
+  writer.Add("pool_pages", static_cast<double>(opts.pool_pages));
+  writer.Add("cache_bytes", static_cast<double>(opts.cache_bytes));
+  writer.Add("roi_fraction", opts.roi_fraction);
+
+  ConfigResult results[4];
+  for (int i = 0; i < 4; ++i) {
+    const Config& c = configs[i];
+    results[i] = RunConfig(store, workload, c.cache_bytes, c.use_arena,
+                           opts.repeats,
+                           /*trace_allocs=*/opts.trace_allocs && i == 3);
+    if (!results[i].ok) {
+      std::fprintf(stderr, "config %s: a query failed\n", c.name);
+      return 1;
+    }
+    const ConfigResult& r = results[i];
+    std::printf(
+        "%-12s qps=%8.1f allocs/q=%8.1f kb/q=%8.1f reads/q=%6.1f "
+        "hits=%lld misses=%lld\n",
+        c.name, r.qps, r.allocs_per_query, r.alloc_kb_per_query,
+        r.disk_reads_per_query, static_cast<long long>(r.cache_hits),
+        static_cast<long long>(r.cache_misses));
+    const std::string prefix = std::string(c.name) + "/";
+    writer.Add(prefix + "qps", r.qps);
+    writer.Add(prefix + "allocs_per_query", r.allocs_per_query);
+    writer.Add(prefix + "alloc_kb_per_query", r.alloc_kb_per_query);
+    writer.Add(prefix + "disk_reads_per_query", r.disk_reads_per_query);
+    writer.Add(prefix + "cache_hits", static_cast<double>(r.cache_hits));
+    writer.Add(prefix + "cache_misses",
+               static_cast<double>(r.cache_misses));
+  }
+  store->EnableNodeCache(0);
+
+  const double speedup =
+      results[0].qps > 0 ? results[3].qps / results[0].qps : 0.0;
+  // Arena A/B at equal cache setting isolates the allocator change.
+  const double alloc_reduction =
+      results[3].allocs_per_query > 0
+          ? results[2].allocs_per_query / results[3].allocs_per_query
+          : 0.0;
+  writer.Add("speedup_cache_warm", speedup);
+  writer.Add("alloc_reduction_arena", alloc_reduction);
+  std::printf("speedup_cache_warm=%.2fx alloc_reduction_arena=%.1fx\n",
+              speedup, alloc_reduction);
+
+  if (!writer.WriteFile(opts.out)) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace dm::bench
+
+int main(int argc, char** argv) { return dm::bench::Main(argc, argv); }

@@ -1,8 +1,9 @@
 // Concurrent-serving throughput benchmark: replays one deterministic
 // mixed workload (view-dependent, multi-base and perspective queries,
 // see MakeMixedWorkload) through the QueryService at several worker
-// counts and reports queries/sec, p50/p99 latency and aggregate disk
-// reads per configuration.
+// counts and reports queries/sec, p50/p99/p999 latency (end-to-end
+// plus its queue-wait vs execution split) and aggregate disk reads
+// per configuration.
 //
 // Unlike the fig6/fig8 benches this measures steady-state serving
 // capacity: the buffer pool runs with its concurrent sharding
@@ -166,6 +167,11 @@ int Main(int argc, char** argv) {
     writer.Add(prefix + "qps", r.qps);
     writer.Add(prefix + "p50_millis", r.p50_millis);
     writer.Add(prefix + "p99_millis", r.p99_millis);
+    writer.Add(prefix + "p999_millis", r.p999_millis);
+    writer.Add(prefix + "queue_p50_millis", r.queue_p50_millis);
+    writer.Add(prefix + "queue_p99_millis", r.queue_p99_millis);
+    writer.Add(prefix + "exec_p50_millis", r.exec_p50_millis);
+    writer.Add(prefix + "exec_p99_millis", r.exec_p99_millis);
     writer.Add(prefix + "wall_millis", r.wall_millis);
     writer.Add(prefix + "disk_reads", static_cast<double>(r.disk_reads));
     writer.Add(prefix + "failed", static_cast<double>(r.failed));

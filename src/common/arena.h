@@ -1,0 +1,135 @@
+#ifndef DIRECTMESH_COMMON_ARENA_H_
+#define DIRECTMESH_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dm {
+
+/// Bump allocator for per-query scratch memory. Allocations are O(1)
+/// pointer arithmetic out of geometrically growing blocks; nothing is
+/// freed individually — `Reset()` rewinds the whole arena in O(blocks)
+/// while retaining the largest block, so a long-lived arena (one per
+/// query worker) converges to zero heap traffic per query.
+///
+/// Arena memory never runs constructors or destructors; callers that
+/// place non-trivially-destructible objects in it (FlatHashMap does)
+/// must destroy them before Reset. Not thread-safe: one arena belongs
+/// to one worker.
+class Arena {
+ public:
+  explicit Arena(size_t min_block_bytes = 4096)
+      : min_block_bytes_(min_block_bytes < 64 ? 64 : min_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (any power of two).
+  void* Allocate(size_t bytes, size_t align) {
+    DM_DCHECK(align != 0 && (align & (align - 1)) == 0)
+        << "arena alignment must be a power of two, got " << align;
+    uintptr_t p = reinterpret_cast<uintptr_t>(ptr_);
+    const uintptr_t aligned = (p + (align - 1)) & ~(uintptr_t{align} - 1);
+    const size_t padding = static_cast<size_t>(aligned - p);
+    if (ptr_ == nullptr || padding + bytes > static_cast<size_t>(end_ - ptr_)) {
+      NewBlock(bytes + align);
+      return Allocate(bytes, align);
+    }
+    ptr_ = reinterpret_cast<uint8_t*>(aligned) + bytes;
+    bytes_used_ += padding + bytes;
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  /// Rewinds all allocations. Keeps only the largest block, so steady
+  /// state reuses one slab and repeated Reset cycles stop allocating.
+  void Reset() {
+    if (blocks_.empty()) return;
+    size_t largest = 0;
+    for (size_t i = 1; i < blocks_.size(); ++i) {
+      if (blocks_[i].size > blocks_[largest].size) largest = i;
+    }
+    if (largest != 0) std::swap(blocks_[0], blocks_[largest]);
+    blocks_.resize(1);
+    ptr_ = blocks_[0].data.get();
+    end_ = ptr_ + blocks_[0].size;
+    bytes_used_ = 0;
+  }
+
+  /// Live bytes handed out since the last Reset (including padding).
+  size_t bytes_used() const { return bytes_used_; }
+  /// Total slab capacity currently owned.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+  /// Slabs requested from the heap over the arena's lifetime; a warm
+  /// arena stops growing this.
+  int64_t block_allocations() const { return block_allocations_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<uint8_t[]> data;
+    size_t size = 0;
+  };
+
+  void NewBlock(size_t at_least) {
+    size_t size = blocks_.empty() ? min_block_bytes_ : blocks_.back().size * 2;
+    if (size < at_least) size = at_least;
+    Block b;
+    b.data = std::unique_ptr<uint8_t[]>(new uint8_t[size]);
+    b.size = size;
+    ptr_ = b.data.get();
+    end_ = ptr_ + size;
+    bytes_reserved_ += size;
+    ++block_allocations_;
+    blocks_.push_back(std::move(b));
+  }
+
+  size_t min_block_bytes_;
+  std::vector<Block> blocks_;
+  uint8_t* ptr_ = nullptr;
+  uint8_t* end_ = nullptr;
+  size_t bytes_used_ = 0;
+  size_t bytes_reserved_ = 0;
+  int64_t block_allocations_ = 0;
+};
+
+/// std-compatible allocator over an Arena, with a global-heap fallback
+/// when constructed without one (arena == nullptr). The fallback lets
+/// the same container types run in arena and no-arena modes, which the
+/// hot-path bench uses to measure the difference.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  ArenaAllocator() noexcept = default;
+  explicit ArenaAllocator(Arena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& o) noexcept : arena_(o.arena()) {}
+
+  T* allocate(size_t n) {
+    if (arena_ != nullptr) {
+      return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t) noexcept {
+    if (arena_ == nullptr) ::operator delete(p);
+  }
+
+  Arena* arena() const { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+
+ private:
+  Arena* arena_ = nullptr;
+};
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_COMMON_ARENA_H_

@@ -1,0 +1,303 @@
+#ifndef DIRECTMESH_COMMON_FLAT_HASH_H_
+#define DIRECTMESH_COMMON_FLAT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/arena.h"
+#include "common/check.h"
+
+namespace dm {
+
+/// Finalizer of splitmix64: a fast, well-mixed hash for the integer
+/// keys (VertexId, packed RecordId) the query hot path indexes by.
+inline uint64_t FlatHashMix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+template <typename K>
+struct FlatHashDefault {
+  size_t operator()(const K& k) const {
+    return static_cast<size_t>(FlatHashMix(static_cast<uint64_t>(k)));
+  }
+};
+
+/// Open-addressing hash map with linear probing over one flat slot
+/// array: no per-element nodes, so inserts are a key store + placement
+/// new and lookups touch one cache line per probe. Built for the query
+/// hot path, where std::unordered_map's per-node allocations dominated
+/// the profile.
+///
+/// - `empty_key` is a reserved key value marking vacant slots (the DM
+///   pipeline uses kInvalidVertex / ~0 record ids); inserting it is a
+///   programming error.
+/// - Backing arrays come from the optional Arena (old arrays are
+///   abandoned to the arena on rehash, reclaimed by its Reset) or from
+///   the global heap when arena == nullptr.
+/// - Iteration order is the probe order of the table, not insertion
+///   order; callers needing determinism sort, as the query pipeline
+///   already does for cuts.
+/// - Move-only. References are invalidated by rehash; reserve() up
+///   front to pin them.
+template <typename K, typename V, typename Hash = FlatHashDefault<K>>
+class FlatHashMap {
+  static_assert(std::is_trivially_copyable_v<K>,
+                "flat hash keys must be trivially copyable");
+
+ public:
+  explicit FlatHashMap(K empty_key, Arena* arena = nullptr)
+      : empty_key_(empty_key), arena_(arena) {}
+
+  FlatHashMap(const FlatHashMap&) = delete;
+  FlatHashMap& operator=(const FlatHashMap&) = delete;
+  FlatHashMap(FlatHashMap&& o) noexcept
+      : empty_key_(o.empty_key_),
+        arena_(o.arena_),
+        keys_(o.keys_),
+        values_(o.values_),
+        capacity_(o.capacity_),
+        size_(o.size_) {
+    o.keys_ = nullptr;
+    o.values_ = nullptr;
+    o.capacity_ = 0;
+    o.size_ = 0;
+  }
+  FlatHashMap& operator=(FlatHashMap&&) = delete;
+
+  ~FlatHashMap() { DestroyAndFree(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  /// Grows the table so `n` entries fit without rehashing.
+  void reserve(size_t n) {
+    const size_t needed = NormalizeCapacity(n);
+    if (needed > capacity_) Rehash(needed);
+  }
+
+  V* find(const K& k) {
+    if (capacity_ == 0) return nullptr;
+    const size_t i = Probe(k);
+    return keys_[i] == empty_key_ ? nullptr : values_ + i;
+  }
+  const V* find(const K& k) const {
+    return const_cast<FlatHashMap*>(this)->find(k);
+  }
+  bool contains(const K& k) const { return find(k) != nullptr; }
+
+  /// Returns the value of `k`, inserting V(args...) if absent (the
+  /// args let arena-allocated values receive their allocator).
+  template <typename... Args>
+  V& FindOrEmplace(const K& k, Args&&... args) {
+    DM_DCHECK(!(k == empty_key_)) << "insert of the reserved empty key";
+    if (capacity_ == 0 || (size_ + 1) * 4 > capacity_ * 3) {
+      Rehash(NormalizeCapacity(size_ + 1));
+    }
+    const size_t i = Probe(k);
+    if (keys_[i] == empty_key_) {
+      keys_[i] = k;
+      ::new (static_cast<void*>(values_ + i)) V(std::forward<Args>(args)...);
+      ++size_;
+    }
+    return values_[i];
+  }
+
+  /// Iterates occupied slots as a {first, second} reference pair. Bind
+  /// with `const auto& [k, v]` or `auto&& [k, v]` (operator* returns a
+  /// proxy by value).
+  struct Entry {
+    const K& first;
+    V& second;
+  };
+  class iterator {
+   public:
+    iterator(const FlatHashMap* m, size_t i) : m_(m), i_(i) { Skip(); }
+    Entry operator*() const {
+      return Entry{m_->keys_[i_], m_->values_[i_]};
+    }
+    iterator& operator++() {
+      ++i_;
+      Skip();
+      return *this;
+    }
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.i_ == b.i_;
+    }
+
+   private:
+    void Skip() {
+      while (i_ < m_->capacity_ && m_->keys_[i_] == m_->empty_key_) ++i_;
+    }
+    const FlatHashMap* m_;
+    size_t i_;
+  };
+  iterator begin() const { return iterator(this, 0); }
+  iterator end() const { return iterator(this, capacity_); }
+
+ private:
+  static size_t NormalizeCapacity(size_t n) {
+    // Smallest power of two keeping load factor <= 0.75 for n entries.
+    size_t cap = 16;
+    while (n * 4 > cap * 3) cap *= 2;
+    return cap;
+  }
+
+  size_t Probe(const K& k) const {
+    const size_t mask = capacity_ - 1;
+    size_t i = Hash{}(k)&mask;
+    while (!(keys_[i] == empty_key_) && !(keys_[i] == k)) i = (i + 1) & mask;
+    return i;
+  }
+
+  void Rehash(size_t new_cap) {
+    K* old_keys = keys_;
+    V* old_values = values_;
+    const size_t old_cap = capacity_;
+    keys_ = static_cast<K*>(Allocate(new_cap * sizeof(K), alignof(K)));
+    values_ = static_cast<V*>(Allocate(new_cap * sizeof(V), alignof(V)));
+    capacity_ = new_cap;
+    for (size_t i = 0; i < new_cap; ++i) keys_[i] = empty_key_;
+    for (size_t i = 0; i < old_cap; ++i) {
+      if (old_keys[i] == empty_key_) continue;
+      const size_t j = Probe(old_keys[i]);
+      keys_[j] = old_keys[i];
+      ::new (static_cast<void*>(values_ + j)) V(std::move(old_values[i]));
+      old_values[i].~V();
+    }
+    Free(old_keys);
+    Free(old_values);
+  }
+
+  void* Allocate(size_t bytes, size_t align) {
+    if (arena_ != nullptr) return arena_->Allocate(bytes, align);
+    return ::operator new(bytes);
+  }
+  void Free(void* p) {
+    // Arena memory is reclaimed wholesale by Arena::Reset.
+    if (arena_ == nullptr) ::operator delete(p);
+  }
+
+  void DestroyAndFree() {
+    if constexpr (!std::is_trivially_destructible_v<V>) {
+      for (size_t i = 0; i < capacity_; ++i) {
+        if (!(keys_[i] == empty_key_)) values_[i].~V();
+      }
+    }
+    Free(keys_);
+    Free(values_);
+    keys_ = nullptr;
+    values_ = nullptr;
+    capacity_ = 0;
+    size_ = 0;
+  }
+
+  K empty_key_;
+  Arena* arena_;
+  K* keys_ = nullptr;
+  V* values_ = nullptr;
+  size_t capacity_ = 0;
+  size_t size_ = 0;
+};
+
+/// Open-addressing hash set; the map's probing scheme without a value
+/// array. Replaces the `std::unordered_map<VertexId, bool>`-as-a-set
+/// pattern the cut-membership tests used.
+template <typename K, typename Hash = FlatHashDefault<K>>
+class FlatHashSet {
+  static_assert(std::is_trivially_copyable_v<K>,
+                "flat hash keys must be trivially copyable");
+
+ public:
+  explicit FlatHashSet(K empty_key, Arena* arena = nullptr)
+      : empty_key_(empty_key), arena_(arena) {}
+
+  FlatHashSet(const FlatHashSet&) = delete;
+  FlatHashSet& operator=(const FlatHashSet&) = delete;
+  FlatHashSet(FlatHashSet&& o) noexcept
+      : empty_key_(o.empty_key_),
+        arena_(o.arena_),
+        keys_(o.keys_),
+        capacity_(o.capacity_),
+        size_(o.size_) {
+    o.keys_ = nullptr;
+    o.capacity_ = 0;
+    o.size_ = 0;
+  }
+  FlatHashSet& operator=(FlatHashSet&&) = delete;
+
+  ~FlatHashSet() {
+    if (arena_ == nullptr) ::operator delete(keys_);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void reserve(size_t n) {
+    size_t cap = 16;
+    while (n * 4 > cap * 3) cap *= 2;
+    if (cap > capacity_) Rehash(cap);
+  }
+
+  /// Returns true if `k` was inserted (false: already present).
+  bool insert(const K& k) {
+    DM_DCHECK(!(k == empty_key_)) << "insert of the reserved empty key";
+    if (capacity_ == 0 || (size_ + 1) * 4 > capacity_ * 3) {
+      size_t cap = capacity_ == 0 ? 16 : capacity_ * 2;
+      while ((size_ + 1) * 4 > cap * 3) cap *= 2;
+      Rehash(cap);
+    }
+    const size_t i = Probe(k);
+    if (keys_[i] == empty_key_) {
+      keys_[i] = k;
+      ++size_;
+      return true;
+    }
+    return false;
+  }
+
+  bool contains(const K& k) const {
+    if (capacity_ == 0) return false;
+    const size_t i = Probe(k);
+    return !(keys_[i] == empty_key_);
+  }
+
+ private:
+  size_t Probe(const K& k) const {
+    const size_t mask = capacity_ - 1;
+    size_t i = Hash{}(k)&mask;
+    while (!(keys_[i] == empty_key_) && !(keys_[i] == k)) i = (i + 1) & mask;
+    return i;
+  }
+
+  void Rehash(size_t new_cap) {
+    K* old_keys = keys_;
+    const size_t old_cap = capacity_;
+    keys_ = static_cast<K*>(
+        arena_ != nullptr ? arena_->Allocate(new_cap * sizeof(K), alignof(K))
+                          : ::operator new(new_cap * sizeof(K)));
+    capacity_ = new_cap;
+    for (size_t i = 0; i < new_cap; ++i) keys_[i] = empty_key_;
+    for (size_t i = 0; i < old_cap; ++i) {
+      if (old_keys[i] == empty_key_) continue;
+      keys_[Probe(old_keys[i])] = old_keys[i];
+    }
+    if (arena_ == nullptr) ::operator delete(old_keys);
+  }
+
+  K empty_key_;
+  Arena* arena_;
+  K* keys_ = nullptr;
+  size_t capacity_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_COMMON_FLAT_HASH_H_

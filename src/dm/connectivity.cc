@@ -1,7 +1,9 @@
 #include "dm/connectivity.h"
 
 #include <algorithm>
-#include <unordered_set>
+
+#include "common/arena.h"
+#include "common/flat_hash.h"
 
 namespace dm {
 
@@ -147,11 +149,18 @@ ConnectivityStats ComputeConnectivityStats(
   const int64_t step = std::max<int64_t>(1, n / std::max<int64_t>(1, sample));
   int64_t sampled = 0;
   int64_t closure_total = 0;
+  // The membership sets are pure per-sample scratch: back them with one
+  // arena rewound each iteration, so the sampling loop stops touching
+  // the heap once the largest sample has sized the slab.
+  Arena scratch;
+  std::vector<VertexId> leaves;
+  std::vector<VertexId> stack;
   for (VertexId m = 0; m < n; m += step) {
+    scratch.Reset();
     // Leaves of m's subtree.
-    std::unordered_set<VertexId> in_subtree;
-    std::vector<VertexId> leaves;
-    std::vector<VertexId> stack{m};
+    FlatHashSet<VertexId> in_subtree(kInvalidVertex, &scratch);
+    leaves.clear();
+    stack.assign(1, m);
     while (!stack.empty()) {
       const VertexId v = stack.back();
       stack.pop_back();
@@ -165,19 +174,19 @@ ConnectivityStats ComputeConnectivityStats(
       }
     }
     // Ancestors of m (these contain m and are excluded).
-    std::unordered_set<VertexId> ancestors;
+    FlatHashSet<VertexId> ancestors(kInvalidVertex, &scratch);
     for (VertexId a = tree.node(m).parent; a != kInvalidVertex;
          a = tree.node(a).parent) {
       ancestors.insert(a);
     }
     // Every node on the ancestor-or-self chain of an outside leaf
     // adjacent to the subtree, excluding m's ancestors, can meet m.
-    std::unordered_set<VertexId> closure;
+    FlatHashSet<VertexId> closure(kInvalidVertex, &scratch);
     for (VertexId leaf : leaves) {
       for (VertexId nb : leaf_adj[static_cast<size_t>(leaf)]) {
-        if (in_subtree.count(nb)) continue;
+        if (in_subtree.contains(nb)) continue;
         for (VertexId a = nb; a != kInvalidVertex; a = tree.node(a).parent) {
-          if (ancestors.count(a)) break;  // contains m; stop the chain
+          if (ancestors.contains(a)) break;  // contains m; stop the chain
           closure.insert(a);
         }
       }

@@ -101,29 +101,40 @@ std::vector<BaseCube> OptimizeMultiBase(
     const CostModelInputs& inputs, const Rect& roi, bool gradient_along_y,
     const std::function<double(double)>& e_at, int max_cubes) {
   std::vector<BaseCube> out;
-  const std::function<void(double, double, int)> split =
-      [&](double t0, double t1, int budget) {
-        BaseCube whole{t0, t1, e_at(t0), e_at(t1)};
-        if (budget > 1) {
-          const double tm = (t0 + t1) / 2;
-          const BaseCube left{t0, tm, e_at(t0), e_at(tm)};
-          const BaseCube right{tm, t1, e_at(tm), e_at(t1)};
-          const double da_whole = EstimateQueryCost(
-              inputs, SliceBox(roi, gradient_along_y, whole));
-          const double da_parts =
-              EstimateQueryCost(inputs,
-                                SliceBox(roi, gradient_along_y, left)) +
-              EstimateQueryCost(inputs,
-                                SliceBox(roi, gradient_along_y, right));
-          if (da_parts < da_whole) {  // condition (7)
-            split(t0, tm, budget / 2);
-            split(tm, t1, budget - budget / 2);
-            return;
-          }
+  out.reserve(static_cast<size_t>(std::max(1, max_cubes)));
+  // Plain recursive helper: a recursive std::function would
+  // heap-allocate its closure on every multi-base query.
+  struct Splitter {
+    const CostModelInputs& inputs;
+    const Rect& roi;
+    bool gradient_along_y;
+    const std::function<double(double)>& e_at;
+    std::vector<BaseCube>& out;
+
+    void Split(double t0, double t1, int budget) const {
+      BaseCube whole{t0, t1, e_at(t0), e_at(t1)};
+      if (budget > 1) {
+        const double tm = (t0 + t1) / 2;
+        const BaseCube left{t0, tm, e_at(t0), e_at(tm)};
+        const BaseCube right{tm, t1, e_at(tm), e_at(t1)};
+        const double da_whole = EstimateQueryCost(
+            inputs, SliceBox(roi, gradient_along_y, whole));
+        const double da_parts =
+            EstimateQueryCost(inputs,
+                              SliceBox(roi, gradient_along_y, left)) +
+            EstimateQueryCost(inputs,
+                              SliceBox(roi, gradient_along_y, right));
+        if (da_parts < da_whole) {  // condition (7)
+          Split(t0, tm, budget / 2);
+          Split(tm, t1, budget - budget / 2);
+          return;
         }
-        out.push_back(whole);
-      };
-  split(0.0, 1.0, std::max(1, max_cubes));
+      }
+      out.push_back(whole);
+    }
+  };
+  Splitter{inputs, roi, gradient_along_y, e_at, out}.Split(
+      0.0, 1.0, std::max(1, max_cubes));
   std::sort(out.begin(), out.end(),
             [](const BaseCube& a, const BaseCube& b) { return a.t0 < b.t0; });
   return out;

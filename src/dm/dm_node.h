@@ -2,12 +2,20 @@
 #define DIRECTMESH_DM_DM_NODE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/geometry.h"
 #include "common/status.h"
 
 namespace dm {
+
+struct DmNode;
+
+/// Shared handle to an immutable decoded node. The decoded-node cache
+/// and every query worker alias the same decode through this, so a
+/// cached node is decoded once and never copied per query.
+using NodeRef = std::shared_ptr<const DmNode>;
 
 /// A Direct Mesh node: the PM record plus the LOD interval and the
 /// list of connection points with similar LOD ("a direct mesh is

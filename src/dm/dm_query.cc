@@ -65,7 +65,8 @@ Status DmQueryProcessor::FetchBox(const Box& box, NodeMap* nodes,
   DM_CHECK(nodes != nullptr && stats != nullptr)
       << "FetchBox output parameters must be non-null";
   ++stats->range_queries;
-  std::vector<uint64_t> rids;
+  std::vector<uint64_t>& rids = rid_scratch_;
+  rids.clear();
   const int64_t reads_before = store_->env()->stats().disk_reads;
   DM_RETURN_NOT_OK(store_->rtree().RangeQuery(box, &rids));
   stats->index_io += store_->env()->stats().disk_reads - reads_before;
@@ -74,45 +75,68 @@ Status DmQueryProcessor::FetchBox(const Box& box, NodeMap* nodes,
   // visits each heap page once and lets the store coalesce runs of
   // adjacent pages into scatter-gather disk reads.
   std::sort(rids.begin(), rids.end());
-  DM_RETURN_NOT_OK(store_->FetchNodes(rids, [&](DmNode node) {
-    ++stats->nodes_fetched;
-    nodes->emplace(node.id, std::move(node));
-  }));
+  // The R*-tree result count sizes the node map up front, so the hot
+  // path never rehashes mid-fetch.
+  nodes->reserve(nodes->size() + rids.size());
+  DmStore::FetchCounts counts;
+  // One-pointer capture keeps the std::function in its inline buffer
+  // (no per-FetchBox heap allocation).
+  struct Sink {
+    QueryStats* stats;
+    NodeMap* nodes;
+  } sink{stats, nodes};
+  DM_RETURN_NOT_OK(store_->FetchNodes(
+      rids,
+      [&sink](const NodeRef& node) {
+        ++sink.stats->nodes_fetched;
+        sink.nodes->FindOrEmplace(node->id, node);
+      },
+      &counts));
+  stats->cache_hits += counts.cache_hits;
+  stats->cache_misses += counts.cache_misses;
   return Status::OK();
 }
 
 void DmQueryProcessor::Triangulate(const NodeMap& nodes,
-                                   const std::vector<VertexId>& cut,
+                                   std::span<const VertexId> cut,
                                    DmQueryResult* result) {
   // Edges of the approximation: connection-list pairs present in the
   // cut. Lists are exact (see dm/connectivity.h), so no geometric
   // checks are needed.
-  std::unordered_map<VertexId, std::vector<VertexId>> adj;
+  Arena* arena = scratch_arena();
+  FlatHashMap<VertexId, IdVec> adj(kInvalidVertex, arena);
   adj.reserve(cut.size());
-  std::unordered_map<VertexId, bool> in_cut;
+  FlatHashSet<VertexId> in_cut(kInvalidVertex, arena);
   in_cut.reserve(cut.size());
-  for (VertexId v : cut) in_cut[v] = true;
+  for (VertexId v : cut) in_cut.insert(v);
   for (VertexId v : cut) {
-    DM_DCHECK(nodes.count(v) != 0)
+    const NodeRef* np = nodes.find(v);
+    DM_DCHECK(np != nullptr)
         << "cut vertex " << v << " missing from the fetched node map";
-    const DmNode& n = nodes.at(v);
-    auto& list = adj[v];
+    const DmNode& n = **np;
+    IdVec& list = adj.FindOrEmplace(v, id_alloc());
+    list.reserve(n.connections.size());
     for (VertexId c : n.connections) {
-      if (in_cut.count(c)) list.push_back(c);
+      if (in_cut.contains(c)) list.push_back(c);
     }
-    std::sort(list.begin(), list.end());
+    // Connection lists are stored sorted by id, so the filtered
+    // sublist is already sorted — no per-list sort needed.
+    DM_DCHECK(std::is_sorted(list.begin(), list.end()))
+        << "connection list of vertex " << v << " is not sorted";
   }
 
   GraphView view;
-  view.position = [&](VertexId v) { return nodes.at(v).pos; };
-  view.neighbors = [&](VertexId v) -> const std::vector<VertexId>& {
-    return adj.at(v);
+  view.position = [&](VertexId v) { return (*nodes.find(v))->pos; };
+  view.neighbors = [&](VertexId v) -> std::span<const VertexId> {
+    const IdVec* list = adj.find(v);
+    DM_DCHECK(list != nullptr) << "no adjacency list for vertex " << v;
+    return {list->data(), list->size()};
   };
-  result->vertices = cut;
+  result->vertices.assign(cut.begin(), cut.end());
   std::sort(result->vertices.begin(), result->vertices.end());
   result->positions.reserve(result->vertices.size());
   for (VertexId v : result->vertices) {
-    result->positions.push_back(nodes.at(v).pos);
+    result->positions.push_back((*nodes.find(v))->pos);
   }
   result->triangles = ExtractTriangles(result->vertices, view);
 }
@@ -122,19 +146,20 @@ Result<DmQueryResult> DmQueryProcessor::ViewpointIndependent(const Rect& r,
   QueryStats stats;
   const int64_t reads0 = store_->env()->stats().disk_reads;
 
-  NodeMap nodes;
+  arena_.Reset();
+  NodeMap nodes(kInvalidVertex, scratch_arena());
   DM_RETURN_NOT_OK(FetchBox(Box::FromRect(r, e, e), &nodes, &stats));
 
   const auto t0 = std::chrono::steady_clock::now();
-  std::vector<VertexId> cut;
+  IdVec cut(id_alloc());
   cut.reserve(nodes.size());
   for (const auto& [id, n] : nodes) {
     // The index is inclusive on segment endpoints; enforce the
     // half-open interval semantics [e_low, e_high).
-    if (n.AliveAt(e)) cut.push_back(id);
+    if (n->AliveAt(e)) cut.push_back(id);
   }
   DmQueryResult result;
-  Triangulate(nodes, cut, &result);
+  Triangulate(nodes, {cut.data(), cut.size()}, &result);
   const auto t1 = std::chrono::steady_clock::now();
 
   stats.cpu_millis =
@@ -146,7 +171,7 @@ Result<DmQueryResult> DmQueryProcessor::ViewpointIndependent(const Rect& r,
 
 DmQueryResult DmQueryProcessor::RefineAndTriangulate(
     const std::function<double(const Point3&)>& required_e,
-    const NodeMap& nodes, std::vector<VertexId> start, QueryStats stats) {
+    const NodeMap& nodes, IdVec start, QueryStats stats) {
   const auto t0 = std::chrono::steady_clock::now();
   // Selective refinement from the top plane(s) down to the query
   // plane: replace any node whose interval floor exceeds the local
@@ -154,27 +179,31 @@ DmQueryResult DmQueryProcessor::RefineAndTriangulate(
   // step 4 of Algorithm 1 (a sequence of vertex splits); connectivity
   // is recovered afterwards from the connection lists, which encode
   // exactly the edges every split would have produced.
-  std::vector<VertexId> cut;
-  std::vector<VertexId> work = std::move(start);
+  IdVec cut(id_alloc());
+  cut.reserve(start.size());
+  IdVec work = std::move(start);
   while (!work.empty()) {
     const VertexId id = work.back();
     work.pop_back();
-    const DmNode& n = nodes.at(id);
+    const NodeRef* np = nodes.find(id);
+    DM_DCHECK(np != nullptr)
+        << "work vertex " << id << " missing from the fetched node map";
+    const DmNode& n = **np;
     const double req = required_e(n.pos);
     if (n.e_low > req && !n.is_leaf()) {
       ++stats.refinement_splits;
-      const auto c1 = nodes.find(n.child1);
-      const auto c2 = nodes.find(n.child2);
-      if (c1 == nodes.end() && c2 == nodes.end()) {
+      const NodeRef* c1 = nodes.find(n.child1);
+      const NodeRef* c2 = nodes.find(n.child2);
+      if (c1 == nullptr && c2 == nullptr) {
         // Both children outside the fetched region (ROI boundary):
         // the node cannot refine further here.
         ++stats.refinement_misses;
         cut.push_back(id);
         continue;
       }
-      if (c1 != nodes.end()) work.push_back(n.child1);
-      if (c2 != nodes.end()) work.push_back(n.child2);
-      if (c1 == nodes.end() || c2 == nodes.end()) {
+      if (c1 != nullptr) work.push_back(n.child1);
+      if (c2 != nullptr) work.push_back(n.child2);
+      if (c1 == nullptr || c2 == nullptr) {
         ++stats.refinement_misses;
       }
       continue;
@@ -191,21 +220,21 @@ DmQueryResult DmQueryProcessor::RefineAndTriangulate(
   std::sort(cut.begin(), cut.end());
   cut.erase(std::unique(cut.begin(), cut.end()), cut.end());
   {
-    std::unordered_map<VertexId, bool> in_cut;
+    FlatHashSet<VertexId> in_cut(kInvalidVertex, scratch_arena());
     in_cut.reserve(cut.size());
-    for (VertexId v : cut) in_cut[v] = true;
-    std::vector<VertexId> filtered;
+    for (VertexId v : cut) in_cut.insert(v);
+    IdVec filtered(id_alloc());
     filtered.reserve(cut.size());
     for (VertexId v : cut) {
       bool covered = false;
-      for (VertexId p = nodes.at(v).parent; p != kInvalidVertex;) {
-        if (in_cut.count(p)) {
+      for (VertexId p = (*nodes.find(v))->parent; p != kInvalidVertex;) {
+        if (in_cut.contains(p)) {
           covered = true;
           break;
         }
-        auto it = nodes.find(p);
-        if (it == nodes.end()) break;
-        p = it->second.parent;
+        const NodeRef* it = nodes.find(p);
+        if (it == nullptr) break;
+        p = (*it)->parent;
       }
       if (!covered) filtered.push_back(v);
     }
@@ -213,7 +242,7 @@ DmQueryResult DmQueryProcessor::RefineAndTriangulate(
   }
 
   DmQueryResult result;
-  Triangulate(nodes, cut, &result);
+  Triangulate(nodes, {cut.data(), cut.size()}, &result);
   const auto t1 = std::chrono::steady_clock::now();
   stats.cpu_millis +=
       std::chrono::duration<double, std::milli>(t1 - t0).count();
@@ -225,14 +254,15 @@ Result<DmQueryResult> DmQueryProcessor::SingleBase(const ViewQuery& q) {
   QueryStats stats;
   const int64_t reads0 = store_->env()->stats().disk_reads;
 
-  NodeMap nodes;
+  arena_.Reset();
+  NodeMap nodes(kInvalidVertex, scratch_arena());
   DM_RETURN_NOT_OK(
       FetchBox(Box::FromRect(q.roi, q.e_min, q.e_max), &nodes, &stats));
 
   // Top-plane mesh: the cut at e_max (Algorithm 1, step 3).
-  std::vector<VertexId> start;
+  IdVec start(id_alloc());
   for (const auto& [id, n] : nodes) {
-    if (n.AliveAt(q.e_max)) start.push_back(id);
+    if (n->AliveAt(q.e_max)) start.push_back(id);
   }
   DmQueryResult result = RefineAndTriangulate(
       [&q](const Point3& p) {
@@ -251,13 +281,14 @@ Result<DmQueryResult> DmQueryProcessor::Perspective(
   double e_lo = 0.0;
   double e_hi = 0.0;
   q.Range(&e_lo, &e_hi);
-  NodeMap nodes;
+  arena_.Reset();
+  NodeMap nodes(kInvalidVertex, scratch_arena());
   DM_RETURN_NOT_OK(FetchBox(Box::FromRect(q.roi, e_lo, e_hi), &nodes,
                             &stats));
 
-  std::vector<VertexId> start;
+  IdVec start(id_alloc());
   for (const auto& [id, n] : nodes) {
-    if (n.AliveAt(e_hi)) start.push_back(id);
+    if (n->AliveAt(e_hi)) start.push_back(id);
   }
   DmQueryResult result = RefineAndTriangulate(
       [&q](const Point3& p) { return q.RequiredE(p.x, p.y); }, nodes,
@@ -276,20 +307,23 @@ Result<DmQueryResult> DmQueryProcessor::MultiBase(const ViewQuery& q,
       OptimizeMultiBase(inputs, q.roi, q.gradient_along_y,
                         [&](double t) { return q.EAt(t); }, max_cubes);
 
-  NodeMap nodes;
-  std::vector<VertexId> start;
+  arena_.Reset();
+  NodeMap nodes(kInvalidVertex, scratch_arena());
+  IdVec start(id_alloc());
   for (const BaseCube& cube : cubes) {
     const Box box = SliceBox(q.roi, q.gradient_along_y, cube);
-    NodeMap slice_nodes;
+    NodeMap slice_nodes(kInvalidVertex, scratch_arena());
     DM_RETURN_NOT_OK(FetchBox(box, &slice_nodes, &stats));
     // This slice's top plane: its cut at the slice's e_hi, restricted
     // to the slice (each point belongs to exactly one slice; the last
-    // slice owns its far edge).
-    for (auto& [id, n] : slice_nodes) {
-      if (n.AliveAt(cube.e_hi) && box.rect_xy().Contains(n.pos.x, n.pos.y)) {
+    // slice owns its far edge). Sharing the NodeRef (not moving the
+    // node) keeps the slice map valid and costs one refcount.
+    for (const auto& [id, n] : slice_nodes) {
+      if (n->AliveAt(cube.e_hi) &&
+          box.rect_xy().Contains(n->pos.x, n->pos.y)) {
         start.push_back(id);
       }
-      nodes.emplace(id, std::move(n));
+      nodes.FindOrEmplace(id, n);
     }
   }
   // A node straddling a slice boundary can enter `start` from both

@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
+#include "common/arena.h"
+#include "common/flat_hash.h"
 #include "common/geometry.h"
 #include "common/status.h"
 #include "dm/dm_store.h"
@@ -68,7 +70,9 @@ struct PerspectiveQuery {
 struct QueryStats {
   int64_t disk_accesses = 0;
   int64_t index_io = 0;         // portion of disk_accesses spent in indexes
-  int64_t nodes_fetched = 0;    // records decoded (incl. duplicates)
+  int64_t nodes_fetched = 0;    // records delivered (incl. duplicates)
+  int64_t cache_hits = 0;       // decoded-node cache hits (0 when disabled)
+  int64_t cache_misses = 0;     // fetches that had to decode from the heap
   int64_t range_queries = 0;    // index probes issued
   int64_t refinement_splits = 0;
   int64_t refinement_misses = 0;  // splits lacking a fetched child
@@ -85,10 +89,26 @@ struct DmQueryResult {
   QueryStats stats;
 };
 
+/// Tuning knobs of a query processor.
+struct DmQueryOptions {
+  /// Route per-query scratch (the node map, adjacency lists, cut
+  /// membership, work stacks) through a per-processor bump arena that
+  /// is rewound between queries; a warm worker then runs a query with
+  /// near-zero heap traffic. Off = the same container types backed by
+  /// the global heap, which bench_hotpath uses for the A/B.
+  bool use_arena = true;
+};
+
 /// Query processing over a DmStore (paper Section 5).
+///
+/// Not thread-safe: each processor owns per-query scratch (the arena);
+/// concurrent workers each construct their own processor over the
+/// shared store, as QueryService does.
 class DmQueryProcessor {
  public:
-  explicit DmQueryProcessor(DmStore* store) : store_(store) {}
+  explicit DmQueryProcessor(DmStore* store,
+                            const DmQueryOptions& options = {})
+      : store_(store), options_(options) {}
 
   /// Viewpoint-independent query Q(M, r, e): one 3D range query with
   /// the plane r x {e}; the retrieved nodes are exactly the cut, and
@@ -110,24 +130,42 @@ class DmQueryProcessor {
   /// and does not apply).
   Result<DmQueryResult> Perspective(const PerspectiveQuery& q);
 
- private:
-  using NodeMap = std::unordered_map<VertexId, DmNode>;
+  /// The arena backing this processor's scratch, or nullptr when
+  /// `use_arena` is off (containers fall back to the global heap).
+  Arena* scratch_arena() { return options_.use_arena ? &arena_ : nullptr; }
 
-  /// Runs one 3D range query and decodes the records into `nodes`.
+ private:
+  /// Fetched nodes by id: open-addressing map of shared decode handles
+  /// (kInvalidVertex is the reserved empty key).
+  using NodeMap = FlatHashMap<VertexId, NodeRef>;
+  /// Scratch id list; arena-backed when the arena is on.
+  using IdVec = std::vector<VertexId, ArenaAllocator<VertexId>>;
+
+  ArenaAllocator<VertexId> id_alloc() {
+    return ArenaAllocator<VertexId>(scratch_arena());
+  }
+
+  /// Runs one 3D range query and loads the named nodes into `nodes`
+  /// (through the decoded-node cache when enabled).
   Status FetchBox(const Box& box, NodeMap* nodes, QueryStats* stats);
 
   /// Shared tail of the viewpoint-dependent paths: refine `start` (the
   /// top-plane cut) down to the required-LOD field, then triangulate.
   DmQueryResult RefineAndTriangulate(
       const std::function<double(const Point3&)>& required_e,
-      const NodeMap& nodes, std::vector<VertexId> start, QueryStats stats);
+      const NodeMap& nodes, IdVec start, QueryStats stats);
 
   /// Builds the triangle mesh of a cut from connection lists.
-  static void Triangulate(const NodeMap& nodes,
-                          const std::vector<VertexId>& cut,
-                          DmQueryResult* result);
+  void Triangulate(const NodeMap& nodes, std::span<const VertexId> cut,
+                   DmQueryResult* result);
 
   DmStore* store_;
+  DmQueryOptions options_;
+  /// Per-query scratch, rewound at the start of every public entry
+  /// point; converges to one warm slab after a few queries.
+  Arena arena_;
+  /// RangeQuery result buffer, reused across queries (capacity sticks).
+  std::vector<uint64_t> rid_scratch_;
 };
 
 }  // namespace dm

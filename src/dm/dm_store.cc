@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "dm/connectivity.h"
 
 namespace dm {
@@ -76,6 +77,13 @@ Result<DmStore> DmStore::Build(DbEnv* env, const TriangleMesh& base,
   store.meta_.bounds = bounds;
   store.meta_.compressed = options.compress_records;
   DM_RETURN_NOT_OK(store.LoadCatalog());
+  // A rebuild yields a new store and thus a brand-new cache; any cache
+  // of a previous generation dies with its store, so no decoded node
+  // can outlive the heap records it came from.
+  const DbOptions& opts = env->options();
+  if (opts.node_cache_bytes > 0) {
+    store.EnableNodeCache(opts.node_cache_bytes, opts.node_cache_shards);
+  }
   return store;
 }
 
@@ -88,7 +96,19 @@ Result<DmStore> DmStore::Open(DbEnv* env, const DmMeta& meta) {
   // since the caller's snapshot only if they persisted a stale meta —
   // trust the caller.
   DM_RETURN_NOT_OK(store.LoadCatalog());
+  const DbOptions& opts = env->options();
+  if (opts.node_cache_bytes > 0) {
+    store.EnableNodeCache(opts.node_cache_bytes, opts.node_cache_shards);
+  }
   return store;
+}
+
+void DmStore::EnableNodeCache(size_t bytes, uint32_t shards) {
+  if (bytes == 0) {
+    node_cache_.reset();
+    return;
+  }
+  node_cache_ = std::make_unique<NodeCache>(bytes, shards);
 }
 
 Status DmStore::LoadCatalog() {
@@ -154,20 +174,73 @@ Result<DmNode> DmStore::FetchNode(RecordId rid) const {
 }
 
 Status DmStore::FetchNodes(const std::vector<uint64_t>& sorted_rids,
-                           const std::function<void(DmNode)>& fn) const {
-  std::vector<RecordId> rids;
-  rids.reserve(sorted_rids.size());
-  for (uint64_t packed : sorted_rids) {
-    rids.push_back(RecordId::Unpack(packed));
+                           const std::function<void(const NodeRef&)>& fn,
+                           FetchCounts* counts) const {
+  if (node_cache_ == nullptr) {
+    // Uncached path: exactly the seed behavior — every record is read
+    // through the heap and decoded, so paper benches keep bit-identical
+    // disk-read counts.
+    std::vector<RecordId> rids;
+    rids.reserve(sorted_rids.size());
+    for (uint64_t packed : sorted_rids) {
+      rids.push_back(RecordId::Unpack(packed));
+    }
+    return heap_.GetMany(
+        rids, [&](RecordId, const uint8_t* data, uint32_t len) -> Status {
+          auto node_or = meta_.compressed ? DmNode::DecodeCompressed(data, len)
+                                          : DmNode::Decode(data, len);
+          DM_RETURN_NOT_OK(node_or.status());
+          fn(std::make_shared<const DmNode>(std::move(node_or).value()));
+          return Status::OK();
+        });
   }
-  return heap_.GetMany(
-      rids, [&](RecordId, const uint8_t* data, uint32_t len) -> Status {
-        auto node_or = meta_.compressed ? DmNode::DecodeCompressed(data, len)
-                                        : DmNode::Decode(data, len);
-        DM_RETURN_NOT_OK(node_or.status());
-        fn(std::move(node_or).value());
-        return Status::OK();
-      });
+
+  // Cached path: probe per rid, then fetch only the misses. The miss
+  // subsequence of a sorted rid list is itself sorted, so GetMany's
+  // run coalescing still applies to it, and delivery below preserves
+  // the caller's order (hit or miss). Scratch is thread-local so the
+  // warm all-hit path never touches the heap (FetchNodes is not
+  // reentrant within a thread; query workers each have their own).
+  thread_local std::vector<NodeRef> out;
+  thread_local std::vector<RecordId> miss_rids;
+  thread_local std::vector<size_t> miss_idx;
+  out.clear();
+  out.resize(sorted_rids.size());
+  miss_rids.clear();
+  miss_idx.clear();
+  for (size_t i = 0; i < sorted_rids.size(); ++i) {
+    out[i] = node_cache_->Lookup(sorted_rids[i]);
+    if (out[i] == nullptr) {
+      miss_rids.push_back(RecordId::Unpack(sorted_rids[i]));
+      miss_idx.push_back(i);
+    }
+  }
+  if (counts != nullptr) {
+    counts->cache_hits +=
+        static_cast<int64_t>(sorted_rids.size() - miss_rids.size());
+    counts->cache_misses += static_cast<int64_t>(miss_rids.size());
+  }
+  if (!miss_rids.empty()) {
+    size_t k = 0;
+    DM_RETURN_NOT_OK(heap_.GetMany(
+        miss_rids,
+        [&](RecordId rid, const uint8_t* data, uint32_t len) -> Status {
+          auto node_or = meta_.compressed ? DmNode::DecodeCompressed(data, len)
+                                          : DmNode::Decode(data, len);
+          DM_RETURN_NOT_OK(node_or.status());
+          auto ref =
+              std::make_shared<const DmNode>(std::move(node_or).value());
+          node_cache_->Insert(rid.Pack(), ref);
+          out[miss_idx[k++]] = std::move(ref);
+          return Status::OK();
+        }));
+    DM_CHECK(k == miss_idx.size())
+        << "GetMany delivered " << k << " of " << miss_idx.size()
+        << " missed records";
+  }
+  for (const NodeRef& ref : out) fn(ref);
+  out.clear();  // drop the refs; evicted nodes should not outlive this
+  return Status::OK();
 }
 
 }  // namespace dm

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "common/status.h"
 #include "dm/cost_model.h"
 #include "dm/dm_node.h"
+#include "dm/node_cache.h"
 #include "index/rtree/rstar_tree.h"
 #include "mesh/triangle_mesh.h"
 #include "pm/pm_tree.h"
@@ -53,7 +55,8 @@ struct DmStoreOptions {
 /// R*-tree, meta, and catalog never change — so every const member
 /// (FetchNode, FetchNodes, rtree() range queries, cost_inputs()) is
 /// safe to call from many query workers sharing one store; the only
-/// mutable state is inside the thread-safe buffer pool.
+/// mutable state is inside the thread-safe buffer pool and the
+/// (equally thread-safe) sharded decoded-node cache.
 class DmStore {
  public:
   /// Builds the database from a PM construction run: computes the
@@ -71,17 +74,44 @@ class DmStore {
   const RStarTree& rtree() const { return rtree_; }
   const HeapFile& heap() const { return heap_; }
 
-  /// Fetches and decodes one node record.
+  /// Fetches and decodes one node record. Always reads through the
+  /// heap file (never the node cache) so invariant checks and tests
+  /// exercise the raw decode path.
   Result<DmNode> FetchNode(RecordId rid) const;
 
-  /// Batch fetch: decodes the records named by `sorted_rids` (packed
-  /// RecordIds in ascending order — the order a sorted
-  /// RangeQuery result is already in) and hands each node to `fn`.
-  /// Runs of adjacent heap pages coalesce into single scatter-gather
-  /// disk reads; `disk_reads` accounting matches per-record FetchNode
-  /// calls exactly.
+  /// Batch fetch: hands the nodes named by `sorted_rids` (packed
+  /// RecordIds in ascending order — the order a sorted RangeQuery
+  /// result is already in) to `fn`, in that order. Records that hit
+  /// the decoded-node cache skip the heap entirely; the miss
+  /// subsequence (still sorted) goes through HeapFile::GetMany, so
+  /// runs of adjacent heap pages coalesce into single scatter-gather
+  /// disk reads and, with the cache off, `disk_reads` accounting
+  /// matches per-record FetchNode calls exactly.
+  ///
+  /// `counts`, when non-null, receives this call's exact cache
+  /// hit/miss split (both zero when the cache is disabled) — unlike
+  /// deltas of the shared `node_cache_stats()`, it is not polluted by
+  /// concurrent workers.
+  struct FetchCounts {
+    int64_t cache_hits = 0;
+    int64_t cache_misses = 0;
+  };
   Status FetchNodes(const std::vector<uint64_t>& sorted_rids,
-                    const std::function<void(DmNode)>& fn) const;
+                    const std::function<void(const NodeRef&)>& fn,
+                    FetchCounts* counts = nullptr) const;
+
+  /// Sizes (0 disables) or resizes the decoded-node cache. Existing
+  /// entries are dropped. Requires quiescence: no concurrent
+  /// FetchNodes callers (benches and dmctl call it between batches).
+  void EnableNodeCache(size_t bytes,
+                       uint32_t shards = NodeCache::kDefaultShards);
+
+  /// The decoded-node cache, or nullptr when disabled.
+  const NodeCache* node_cache() const { return node_cache_.get(); }
+  /// Cache counters; all zeros when the cache is disabled.
+  NodeCacheStats node_cache_stats() const {
+    return node_cache_ != nullptr ? node_cache_->stats() : NodeCacheStats{};
+  }
 
   /// Cached node extents of the R*-tree for the multi-base cost model
   /// (collected once at open/build; treated as catalog statistics, not
@@ -113,6 +143,11 @@ class DmStore {
   DbEnv* env_;
   HeapFile heap_;
   RStarTree rtree_;
+  /// Decoded-node cache (tied to this store generation: a rebuild
+  /// constructs a new store and with it a fresh, empty cache, which is
+  /// the invalidation rule — stale decodes cannot survive a rebuild).
+  /// unique_ptr keeps DmStore movable; null means disabled.
+  std::unique_ptr<NodeCache> node_cache_;
   DmMeta meta_;
   std::vector<RTreeNodeExtent> node_extents_;
   Box data_space_;

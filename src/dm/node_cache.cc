@@ -1,0 +1,95 @@
+#include "dm/node_cache.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dm {
+
+NodeCache::NodeCache(size_t capacity_bytes, uint32_t num_shards)
+    : capacity_bytes_(capacity_bytes) {
+  num_shards = std::max<uint32_t>(1, num_shards);
+  shard_capacity_ = std::max<size_t>(1, capacity_bytes_ / num_shards);
+  shards_.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+size_t NodeCache::EntryBytes(const DmNode& node) {
+  // Decoded footprint plus map/LRU bookkeeping; an estimate is fine —
+  // the budget bounds memory, it is not an accounting invariant.
+  constexpr size_t kBookkeeping = 96;
+  return sizeof(DmNode) + node.connections.capacity() * sizeof(VertexId) +
+         kBookkeeping;
+}
+
+NodeRef NodeCache::Lookup(uint64_t key) {
+  Shard& s = ShardFor(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.map.find(key);
+  if (it == s.map.end()) {
+    s.misses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  s.hits.fetch_add(1, std::memory_order_relaxed);
+  s.lru.splice(s.lru.end(), s.lru, it->second.lru_pos);
+  return it->second.node;
+}
+
+void NodeCache::Insert(uint64_t key, const NodeRef& node) {
+  DM_CHECK(node != nullptr) << "node cache insert of a null node";
+  const size_t bytes = EntryBytes(*node);
+  if (bytes > shard_capacity_) return;  // would evict the whole shard
+  Shard& s = ShardFor(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.map.count(key) != 0) return;  // racing install: first one wins
+  while (s.bytes + bytes > shard_capacity_ && !s.lru.empty()) {
+    const uint64_t victim = s.lru.front();
+    s.lru.pop_front();
+    auto vit = s.map.find(victim);
+    DM_CHECK(vit != s.map.end()) << "node cache LRU/map desync";
+    s.bytes -= vit->second.bytes;
+    s.map.erase(vit);
+    s.evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+  Entry e;
+  e.node = node;
+  e.bytes = bytes;
+  s.lru.push_back(key);
+  e.lru_pos = std::prev(s.lru.end());
+  s.bytes += bytes;
+  s.map.emplace(key, std::move(e));
+}
+
+void NodeCache::Clear() {
+  for (const auto& sp : shards_) {
+    std::lock_guard<std::mutex> lock(sp->mu);
+    sp->map.clear();
+    sp->lru.clear();
+    sp->bytes = 0;
+  }
+}
+
+NodeCacheStats NodeCache::stats() const {
+  NodeCacheStats total;
+  for (const auto& sp : shards_) {
+    total.hits += sp->hits.load(std::memory_order_relaxed);
+    total.misses += sp->misses.load(std::memory_order_relaxed);
+    total.evictions += sp->evictions.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(sp->mu);
+    total.entries += static_cast<int64_t>(sp->map.size());
+    total.bytes += static_cast<int64_t>(sp->bytes);
+  }
+  return total;
+}
+
+void NodeCache::ResetStats() {
+  for (const auto& sp : shards_) {
+    sp->hits.store(0, std::memory_order_relaxed);
+    sp->misses.store(0, std::memory_order_relaxed);
+    sp->evictions.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace dm

@@ -1,0 +1,109 @@
+#ifndef DIRECTMESH_DM_NODE_CACHE_H_
+#define DIRECTMESH_DM_NODE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "dm/dm_node.h"
+
+namespace dm {
+
+/// Aggregated decoded-node cache counters (sum over shards).
+struct NodeCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t entries = 0;  // currently cached nodes
+  int64_t bytes = 0;    // currently charged bytes
+};
+
+/// Sharded LRU cache of fully decoded DmNodes, keyed by packed record
+/// id. It sits between DmStore and the buffer pool: a hit skips the
+/// page pin, the slot lookup, and the varint decode entirely — the
+/// point of Dillabaugh-style traversal-ready blocks layered over
+/// compact on-disk records. Capacity is a byte budget split evenly
+/// across shards; each entry is charged its decoded footprint
+/// (struct + connection-list capacity + bookkeeping).
+///
+/// Concurrency mirrors the sharded buffer pool (DESIGN.md §8/§9):
+/// record ids Fibonacci-hash to independent shards, each with its own
+/// mutex, map, and LRU list; hit/miss/eviction counters are relaxed
+/// atomics summed on read. Values are shared_ptr<const DmNode>, so a
+/// query may keep using a node after another worker evicts it, and
+/// cached nodes are immutable by construction.
+///
+/// Invalidation: the cache belongs to one DmStore generation; a store
+/// rebuild must drop every entry (`Clear()`), which DmStore::Build
+/// does before serving from the new heap.
+class NodeCache {
+ public:
+  static constexpr uint32_t kDefaultShards = 16;
+
+  /// `capacity_bytes` is the total budget; shards get an even split.
+  /// `num_shards` is clamped to at least 1.
+  explicit NodeCache(size_t capacity_bytes,
+                     uint32_t num_shards = kDefaultShards);
+
+  NodeCache(const NodeCache&) = delete;
+  NodeCache& operator=(const NodeCache&) = delete;
+
+  size_t capacity_bytes() const { return capacity_bytes_; }
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+
+  /// Returns the cached node for `key` (moving it to MRU) or nullptr.
+  /// Counts one hit or one miss.
+  NodeRef Lookup(uint64_t key);
+
+  /// Inserts a decoded node, evicting LRU entries past the shard's
+  /// byte budget. An already-present key keeps the existing entry (two
+  /// workers racing on the same miss both decode; first install wins).
+  /// Entries larger than a whole shard's budget are not cached.
+  void Insert(uint64_t key, const NodeRef& node);
+
+  /// Drops every entry (store rebuild invalidation). Counters are
+  /// kept; in-flight NodeRefs stay valid through their shared_ptr.
+  void Clear();
+
+  NodeCacheStats stats() const;
+  void ResetStats();
+
+ private:
+  struct Entry {
+    NodeRef node;
+    size_t bytes = 0;
+    std::list<uint64_t>::iterator lru_pos;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, Entry> map;
+    std::list<uint64_t> lru;  // front = least recently used
+    size_t bytes = 0;
+    std::atomic<int64_t> hits{0};
+    std::atomic<int64_t> misses{0};
+    std::atomic<int64_t> evictions{0};
+  };
+
+  Shard& ShardFor(uint64_t key) {
+    if (shards_.size() == 1) return *shards_[0];
+    return *shards_[(FibonacciHash(key) >> 16) % shards_.size()];
+  }
+  static uint32_t FibonacciHash(uint64_t key) {
+    return static_cast<uint32_t>(key * 2654435769u);
+  }
+  static size_t EntryBytes(const DmNode& node);
+
+  size_t capacity_bytes_;
+  size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_DM_NODE_CACHE_H_

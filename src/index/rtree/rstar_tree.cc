@@ -525,17 +525,41 @@ Status RStarTree::RangeQuery(const Box& query,
 Status RStarTree::RangeQueryEntries(
     const Box& query,
     const std::function<bool(const Box&, uint64_t)>& callback) const {
-  std::vector<PageId> stack{root_};
+  // Read-only traversal on the query hot path: entries are decoded
+  // in place from the pinned page instead of materializing a Node
+  // (whose entry vector would heap-allocate per visited page). The
+  // callback runs with the page pinned; it must not re-enter the pool
+  // deeply enough to exhaust frames (existing callers only collect
+  // payloads). The traversal stack is thread-local so the steady state
+  // allocates nothing.
+  thread_local std::vector<PageId> stack;
+  stack.clear();
+  stack.push_back(root_);
   while (!stack.empty()) {
     const PageId id = stack.back();
     stack.pop_back();
-    DM_ASSIGN_OR_RETURN(Node node, ReadNode(id));
-    for (const Entry& e : node.entries) {
-      if (!e.box.Intersects(query)) continue;
-      if (node.level == 0) {
-        if (!callback(e.box, e.payload)) return Status::OK();
+    DM_ASSIGN_OR_RETURN(PageGuard page, env_->pool().Fetch(id));
+    uint16_t level;
+    uint16_t count;
+    std::memcpy(&level, page.data() + kLevelOff, 2);
+    std::memcpy(&count, page.data() + kCountOff, 2);
+    DM_ENSURE(kEntriesOff + static_cast<uint32_t>(count) * kEntrySize <=
+                  env_->page_size(),
+              Status::Corruption("R*-tree node " + std::to_string(id) +
+                                 " entry count " + std::to_string(count) +
+                                 " exceeds page capacity"));
+    const uint8_t* p = page.data() + kEntriesOff;
+    for (uint16_t i = 0; i < count; ++i, p += kEntrySize) {
+      Box box;
+      uint64_t payload;
+      std::memcpy(box.lo.data(), p, 24);
+      std::memcpy(box.hi.data(), p + 24, 24);
+      std::memcpy(&payload, p + 48, 8);
+      if (!box.Intersects(query)) continue;
+      if (level == 0) {
+        if (!callback(box, payload)) return Status::OK();
       } else {
-        stack.push_back(static_cast<PageId>(e.payload));
+        stack.push_back(static_cast<PageId>(payload));
       }
     }
   }

@@ -10,7 +10,13 @@ namespace dm {
 std::vector<Triangle> ExtractTriangles(const std::vector<VertexId>& vertices,
                                        const GraphView& graph) {
   std::vector<Triangle> out;
-  std::vector<VertexId> ring;
+  // A planar triangulation has < 2V faces; one reservation replaces
+  // the growth reallocations on the query hot path.
+  out.reserve(vertices.size() * 2);
+  // Scratch for one vertex's angularly-sorted neighbour ring; its
+  // capacity persists across calls so the steady state allocates
+  // nothing beyond the returned triangle list.
+  thread_local std::vector<VertexId> ring;
   for (VertexId u : vertices) {
     const auto& nbrs = graph.neighbors(u);
     // The mutual-adjacency test below binary-searches neighbour lists.

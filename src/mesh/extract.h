@@ -2,6 +2,7 @@
 #define DIRECTMESH_MESH_EXTRACT_H_
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "common/geometry.h"
@@ -11,10 +12,12 @@ namespace dm {
 
 /// Callbacks describing an adjacency graph over terrain points. The
 /// reconstructor and tests use this to extract triangles from graphs
-/// held in different containers without copying.
+/// held in different containers without copying. Neighbour lists are
+/// viewed as spans so the source may be a std::vector, an
+/// arena-backed vector, or any contiguous buffer.
 struct GraphView {
   std::function<Point3(VertexId)> position;
-  std::function<const std::vector<VertexId>&(VertexId)> neighbors;
+  std::function<std::span<const VertexId>(VertexId)> neighbors;
 };
 
 /// Extracts the triangles of a planar terrain adjacency graph.

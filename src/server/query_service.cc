@@ -29,7 +29,8 @@ bool QueryService::Submit(QueryRequest request, QueryCallback done) {
     return stopping_ || queue_.size() < options_.queue_capacity;
   });
   if (stopping_) return false;
-  queue_.push_back(Job{std::move(request), std::move(done)});
+  queue_.push_back(Job{std::move(request), std::move(done),
+                       std::chrono::steady_clock::now()});
   not_empty_.notify_one();
   return true;
 }
@@ -56,10 +57,10 @@ void QueryService::Shutdown() {
 }
 
 void QueryService::WorkerLoop() {
-  // One processor per worker: the processor itself is stateless
-  // between queries, but giving each worker its own keeps every
-  // per-query allocation thread-local.
-  DmQueryProcessor proc(store_);
+  // One processor per worker: the processor owns per-query scratch
+  // (its arena), so giving each worker its own keeps every per-query
+  // allocation thread-local.
+  DmQueryProcessor proc(store_, options_.query);
   for (;;) {
     Job job;
     {
@@ -71,8 +72,16 @@ void QueryService::WorkerLoop() {
       ++in_flight_;
       not_full_.notify_one();
     }
+    const auto dequeued = std::chrono::steady_clock::now();
     const Result<DmQueryResult> result = Execute(&proc, job.request);
-    if (job.done) job.done(result);
+    QueryTiming timing;
+    timing.queue_millis = std::chrono::duration<double, std::milli>(
+                              dequeued - job.submitted)
+                              .count();
+    timing.exec_millis = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - dequeued)
+                             .count();
+    if (job.done) job.done(result, timing);
     completed_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -139,12 +148,17 @@ std::vector<QueryRequest> MakeMixedWorkload(const Rect& bounds, double max_lod,
 }
 
 std::string ThroughputReport::ToString() const {
-  char buf[256];
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
                 "threads=%d queries=%lld wall=%.1fms qps=%.1f "
-                "p50=%.2fms p99=%.2fms disk_reads=%lld failed=%lld",
+                "p50=%.2fms p99=%.2fms p999=%.2fms "
+                "queue_p50=%.2fms queue_p99=%.2fms "
+                "exec_p50=%.2fms exec_p99=%.2fms "
+                "disk_reads=%lld failed=%lld",
                 threads, static_cast<long long>(queries), wall_millis, qps,
-                p50_millis, p99_millis, static_cast<long long>(disk_reads),
+                p50_millis, p99_millis, p999_millis, queue_p50_millis,
+                queue_p99_millis, exec_p50_millis, exec_p99_millis,
+                static_cast<long long>(disk_reads),
                 static_cast<long long>(failed));
   return buf;
 }
@@ -178,16 +192,21 @@ Result<ThroughputReport> RunThroughput(
   QueryService service(store, options);
 
   std::vector<double> latencies(workload.size(), 0.0);
+  std::vector<double> queue_waits(workload.size(), 0.0);
+  std::vector<double> exec_times(workload.size(), 0.0);
   std::atomic<int64_t> failed{0};
   const auto run_start = Clock::now();
   for (size_t i = 0; i < workload.size(); ++i) {
     const auto submit_time = Clock::now();
     service.Submit(workload[i],
-                   [&latencies, &failed, i,
-                    submit_time](const Result<DmQueryResult>& r) {
+                   [&latencies, &queue_waits, &exec_times, &failed, i,
+                    submit_time](const Result<DmQueryResult>& r,
+                                 const QueryTiming& t) {
                      latencies[i] = std::chrono::duration<double, std::milli>(
                                         Clock::now() - submit_time)
                                         .count();
+                     queue_waits[i] = t.queue_millis;
+                     exec_times[i] = t.exec_millis;
                      if (!r.ok()) failed.fetch_add(1, std::memory_order_relaxed);
                    });
   }
@@ -205,8 +224,15 @@ Result<ThroughputReport> RunThroughput(
                          report.wall_millis
                    : 0.0;
   std::sort(latencies.begin(), latencies.end());
+  std::sort(queue_waits.begin(), queue_waits.end());
+  std::sort(exec_times.begin(), exec_times.end());
   report.p50_millis = Percentile(latencies, 0.50);
   report.p99_millis = Percentile(latencies, 0.99);
+  report.p999_millis = Percentile(latencies, 0.999);
+  report.queue_p50_millis = Percentile(queue_waits, 0.50);
+  report.queue_p99_millis = Percentile(queue_waits, 0.99);
+  report.exec_p50_millis = Percentile(exec_times, 0.50);
+  report.exec_p99_millis = Percentile(exec_times, 0.99);
   report.disk_reads = store->env()->stats().disk_reads - reads0;
   report.failed = failed.load();
   return report;

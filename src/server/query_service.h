@@ -2,6 +2,7 @@
 #define DIRECTMESH_SERVER_QUERY_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -32,8 +33,18 @@ struct QueryRequest {
   PerspectiveQuery perspective;
 };
 
+/// Where one query's latency went: time spent waiting in the bounded
+/// queue vs time executing on a worker. Queue wait dominating under
+/// load means the pool is saturated (add workers); execution
+/// dominating means per-query cost is the bottleneck (cache/arena).
+struct QueryTiming {
+  double queue_millis = 0.0;  // Submit -> dequeued by a worker
+  double exec_millis = 0.0;   // dequeued -> result ready
+};
+
 /// Completion callback; runs on a worker thread.
-using QueryCallback = std::function<void(const Result<DmQueryResult>&)>;
+using QueryCallback =
+    std::function<void(const Result<DmQueryResult>&, const QueryTiming&)>;
 
 struct QueryServiceOptions {
   /// Fixed worker count (each worker owns one DmQueryProcessor).
@@ -41,6 +52,8 @@ struct QueryServiceOptions {
   /// Bounded queue depth; Submit blocks when the queue is full
   /// (condition-variable backpressure instead of unbounded growth).
   size_t queue_capacity = 64;
+  /// Per-worker query-processor knobs (arena on/off).
+  DmQueryOptions query;
 };
 
 /// Fixed-size worker pool serving DM queries against one shared
@@ -87,6 +100,7 @@ class QueryService {
   struct Job {
     QueryRequest request;
     QueryCallback done;
+    std::chrono::steady_clock::time_point submitted;
   };
 
   void WorkerLoop();
@@ -128,6 +142,13 @@ struct ThroughputReport {
   double qps = 0.0;
   double p50_millis = 0.0;  // per-query latency, submit -> completion
   double p99_millis = 0.0;
+  double p999_millis = 0.0;  // tail beyond p99 (queue bursts)
+  // End-to-end latency split into queue wait vs execution (QueryTiming)
+  // so saturation and per-query cost regress independently.
+  double queue_p50_millis = 0.0;
+  double queue_p99_millis = 0.0;
+  double exec_p50_millis = 0.0;
+  double exec_p99_millis = 0.0;
   int64_t disk_reads = 0;  // aggregate over the run (warm cache)
   int64_t failed = 0;
 

@@ -58,6 +58,10 @@ BufferPool::BufferPool(DiskManager* disk, uint32_t capacity_pages,
     const uint32_t frames = base + (s < extra ? 1 : 0);
     shard->frames.resize(frames);
     for (auto& f : shard->frames) f.data.resize(disk_->page_size());
+    // ~2x frames of power-of-two buckets keeps chains short.
+    uint32_t buckets = 4;
+    while (buckets < 2 * frames) buckets *= 2;
+    shard->buckets.assign(buckets, kNoFrame);
     shard->free_list.reserve(frames);
     for (uint32_t i = 0; i < frames; ++i) {
       shard->free_list.push_back(frames - 1 - i);
@@ -77,6 +81,7 @@ IoStats BufferPool::stats() const {
     total.logical_fetches += s->logical_fetches.load(std::memory_order_relaxed);
     total.disk_reads += s->disk_reads.load(std::memory_order_relaxed);
     total.disk_writes += s->disk_writes.load(std::memory_order_relaxed);
+    total.evictions += s->evictions.load(std::memory_order_relaxed);
   }
   return total;
 }
@@ -86,6 +91,7 @@ void BufferPool::ResetStats() {
     s->logical_fetches.store(0, std::memory_order_relaxed);
     s->disk_reads.store(0, std::memory_order_relaxed);
     s->disk_writes.store(0, std::memory_order_relaxed);
+    s->evictions.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -93,8 +99,8 @@ int64_t BufferPool::pinned_frames() const {
   int64_t n = 0;
   for (const auto& s : shards_) {
     std::lock_guard<std::mutex> lock(s->mu);
-    for (const auto& [id, idx] : s->page_table) {
-      if (s->frames[idx].pins > 0) ++n;
+    for (const Frame& f : s->frames) {
+      if (f.mapped && f.pins > 0) ++n;
     }
   }
   return n;
@@ -104,11 +110,68 @@ int64_t BufferPool::total_pins() const {
   int64_t n = 0;
   for (const auto& s : shards_) {
     std::lock_guard<std::mutex> lock(s->mu);
-    for (const auto& [id, idx] : s->page_table) {
-      n += s->frames[idx].pins;
+    for (const Frame& f : s->frames) {
+      if (f.mapped) n += f.pins;
     }
   }
   return n;
+}
+
+uint32_t BufferPool::TableFind(const Shard& s, PageId id) {
+  for (uint32_t idx = s.buckets[BucketFor(s, id)]; idx != kNoFrame;
+       idx = s.frames[idx].hash_next) {
+    if (s.frames[idx].id == id) return idx;
+  }
+  return kNoFrame;
+}
+
+void BufferPool::TableInsert(Shard& s, uint32_t idx) {
+  uint32_t& head = s.buckets[BucketFor(s, s.frames[idx].id)];
+  s.frames[idx].hash_next = head;
+  head = idx;
+  s.frames[idx].mapped = true;
+}
+
+void BufferPool::TableErase(Shard& s, uint32_t idx) {
+  uint32_t* link = &s.buckets[BucketFor(s, s.frames[idx].id)];
+  while (*link != idx) {
+    DM_DCHECK(*link != kNoFrame)
+        << "frame " << idx << " missing from its bucket chain";
+    link = &s.frames[*link].hash_next;
+  }
+  *link = s.frames[idx].hash_next;
+  s.frames[idx].hash_next = kNoFrame;
+  s.frames[idx].mapped = false;
+}
+
+void BufferPool::LruPushBack(Shard& s, uint32_t idx) {
+  Frame& f = s.frames[idx];
+  f.lru_prev = s.lru_tail;
+  f.lru_next = kNoFrame;
+  if (s.lru_tail != kNoFrame) {
+    s.frames[s.lru_tail].lru_next = idx;
+  } else {
+    s.lru_head = idx;
+  }
+  s.lru_tail = idx;
+  f.in_lru = true;
+}
+
+void BufferPool::LruErase(Shard& s, uint32_t idx) {
+  Frame& f = s.frames[idx];
+  if (f.lru_prev != kNoFrame) {
+    s.frames[f.lru_prev].lru_next = f.lru_next;
+  } else {
+    s.lru_head = f.lru_next;
+  }
+  if (f.lru_next != kNoFrame) {
+    s.frames[f.lru_next].lru_prev = f.lru_prev;
+  } else {
+    s.lru_tail = f.lru_prev;
+  }
+  f.lru_prev = kNoFrame;
+  f.lru_next = kNoFrame;
+  f.in_lru = false;
 }
 
 Result<uint32_t> BufferPool::GetFreeFrameLocked(Shard& s) {
@@ -117,29 +180,28 @@ Result<uint32_t> BufferPool::GetFreeFrameLocked(Shard& s) {
     s.free_list.pop_back();
     return idx;
   }
-  if (s.lru.empty()) {
+  if (s.lru_head == kNoFrame) {
     return Status::Internal("buffer pool exhausted: all frames pinned");
   }
-  const uint32_t idx = s.lru.front();
-  s.lru.pop_front();
+  const uint32_t idx = s.lru_head;
+  LruErase(s, idx);
+  s.evictions.fetch_add(1, std::memory_order_relaxed);
   Frame& f = s.frames[idx];
-  f.in_lru = false;
   if (f.dirty) {
     DM_RETURN_NOT_OK(disk_->WritePage(f.id, f.data.data()));
     s.disk_writes.fetch_add(1, std::memory_order_relaxed);
     f.dirty = false;
   }
-  s.page_table.erase(f.id);
+  TableErase(s, idx);
   return idx;
 }
 
 uint8_t* BufferPool::PinIfPresentLocked(Shard& s, PageId id) {
-  auto it = s.page_table.find(id);
-  if (it == s.page_table.end()) return nullptr;
-  Frame& f = s.frames[it->second];
+  const uint32_t idx = TableFind(s, id);
+  if (idx == kNoFrame) return nullptr;
+  Frame& f = s.frames[idx];
   if (f.pins == 0 && f.in_lru) {
-    s.lru.erase(f.lru_pos);
-    f.in_lru = false;
+    LruErase(s, idx);
   }
   ++f.pins;
   return f.data.data();
@@ -153,7 +215,7 @@ Result<uint8_t*> BufferPool::InstallLocked(Shard& s, PageId id,
   f.id = id;
   f.pins = 1;
   f.dirty = false;
-  s.page_table[id] = idx;
+  TableInsert(s, idx);
   return f.data.data();
 }
 
@@ -171,7 +233,7 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
   f.id = id;
   f.pins = 1;
   f.dirty = false;
-  s.page_table[id] = idx;
+  TableInsert(s, idx);
   return PageGuard(this, id, f.data.data());
 }
 
@@ -250,30 +312,28 @@ Result<PageGuard> BufferPool::NewPage() {
   f.id = id;
   f.pins = 1;
   f.dirty = true;
-  s.page_table[id] = idx;
+  TableInsert(s, idx);
   return PageGuard(this, id, f.data.data());
 }
 
 void BufferPool::Unpin(PageId id) {
   Shard& s = ShardFor(id);
   std::lock_guard<std::mutex> lock(s.mu);
-  auto it = s.page_table.find(id);
-  DM_CHECK(it != s.page_table.end()) << "unpin of unmapped page " << id;
-  Frame& f = s.frames[it->second];
+  const uint32_t idx = TableFind(s, id);
+  DM_CHECK(idx != kNoFrame) << "unpin of unmapped page " << id;
+  Frame& f = s.frames[idx];
   DM_CHECK(f.pins > 0) << "pin/unpin imbalance on page " << id;
   if (--f.pins == 0) {
-    s.lru.push_back(it->second);
-    f.lru_pos = std::prev(s.lru.end());
-    f.in_lru = true;
+    LruPushBack(s, idx);
   }
 }
 
 void BufferPool::MarkDirty(PageId id) {
   Shard& s = ShardFor(id);
   std::lock_guard<std::mutex> lock(s.mu);
-  auto it = s.page_table.find(id);
-  DM_CHECK(it != s.page_table.end()) << "MarkDirty on unmapped page " << id;
-  s.frames[it->second].dirty = true;
+  const uint32_t idx = TableFind(s, id);
+  DM_CHECK(idx != kNoFrame) << "MarkDirty on unmapped page " << id;
+  s.frames[idx].dirty = true;
 }
 
 Status BufferPool::FlushAll() {
@@ -282,9 +342,7 @@ Status BufferPool::FlushAll() {
     std::lock_guard<std::mutex> lock(s.mu);
     for (uint32_t idx = 0; idx < s.frames.size(); ++idx) {
       Frame& f = s.frames[idx];
-      if (f.id == kInvalidPage) continue;
-      auto it = s.page_table.find(f.id);
-      if (it == s.page_table.end() || it->second != idx) continue;
+      if (!f.mapped) continue;
       if (f.dirty) {
         DM_RETURN_NOT_OK(disk_->WritePage(f.id, f.data.data()));
         s.disk_writes.fetch_add(1, std::memory_order_relaxed);
@@ -292,10 +350,9 @@ Status BufferPool::FlushAll() {
       }
       if (f.pins == 0) {
         if (f.in_lru) {
-          s.lru.erase(f.lru_pos);
-          f.in_lru = false;
+          LruErase(s, idx);
         }
-        s.page_table.erase(f.id);
+        TableErase(s, idx);
         f.id = kInvalidPage;
         s.free_list.push_back(idx);
       }
@@ -310,9 +367,7 @@ Status BufferPool::FlushDirty() {
     std::lock_guard<std::mutex> lock(s.mu);
     for (uint32_t idx = 0; idx < s.frames.size(); ++idx) {
       Frame& f = s.frames[idx];
-      if (f.id == kInvalidPage || !f.dirty || f.pins > 0) continue;
-      auto it = s.page_table.find(f.id);
-      if (it == s.page_table.end() || it->second != idx) continue;
+      if (!f.mapped || !f.dirty || f.pins > 0) continue;
       DM_RETURN_NOT_OK(disk_->WritePage(f.id, f.data.data()));
       s.disk_writes.fetch_add(1, std::memory_order_relaxed);
       f.dirty = false;

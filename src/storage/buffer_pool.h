@@ -3,11 +3,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -25,6 +23,10 @@ struct IoStats {
   int64_t logical_fetches = 0;
   int64_t disk_reads = 0;
   int64_t disk_writes = 0;
+  /// LRU victims reclaimed under capacity pressure (a frame taken from
+  /// the free list is not an eviction). Diagnoses pool thrash next to
+  /// the node-cache counters in `dmctl cache-stats`.
+  int64_t evictions = 0;
 
   void Reset() { *this = IoStats{}; }
 };
@@ -134,28 +136,46 @@ class BufferPool {
  private:
   friend class PageGuard;
 
+  /// Sentinel frame index for the intrusive LRU links.
+  static constexpr uint32_t kNoFrame = UINT32_MAX;
+
   struct Frame {
     PageId id = kInvalidPage;
     std::vector<uint8_t> data;
     int32_t pins = 0;
     bool dirty = false;
-    // Position in the shard's lru when unpinned.
-    std::list<uint32_t>::iterator lru_pos;
+    // Intrusive LRU links (frame indices) when unpinned. Linking a
+    // frame in or out of the list never touches the heap, which keeps
+    // Unpin allocation-free on the query hot path.
+    uint32_t lru_prev = kNoFrame;
+    uint32_t lru_next = kNoFrame;
     bool in_lru = false;
+    // Next frame in the same page-table bucket chain.
+    uint32_t hash_next = kNoFrame;
+    // True while the frame is installed in the page table under `id`.
+    bool mapped = false;
   };
 
   /// One independent sub-pool. All mutable state is guarded by `mu`;
   /// the stats counters are relaxed atomics so aggregation never
   /// blocks a fetch.
+  ///
+  /// The page table is an intrusive chained hash over the frames
+  /// themselves (`buckets` holds chain heads, `Frame::hash_next` the
+  /// links): lookup, install, and eviction never allocate, unlike a
+  /// node-based std::unordered_map which would heap-allocate on every
+  /// page install — one allocation per disk read on the query path.
   struct Shard {
     mutable std::mutex mu;
     std::vector<Frame> frames;
-    std::unordered_map<PageId, uint32_t> page_table;
-    std::list<uint32_t> lru;           // front = least recently used
+    std::vector<uint32_t> buckets;     // power-of-two chain heads
+    uint32_t lru_head = kNoFrame;      // least recently used
+    uint32_t lru_tail = kNoFrame;      // most recently used
     std::vector<uint32_t> free_list;   // frames never used / dropped
     std::atomic<int64_t> logical_fetches{0};
     std::atomic<int64_t> disk_reads{0};
     std::atomic<int64_t> disk_writes{0};
+    std::atomic<int64_t> evictions{0};
   };
 
   Shard& ShardFor(PageId id) {
@@ -171,6 +191,22 @@ class BufferPool {
 
   void Unpin(PageId id);
   void MarkDirty(PageId id);
+  /// Intrusive-LRU helpers; require s.mu held and f.in_lru consistent.
+  static void LruPushBack(Shard& s, uint32_t idx);
+  static void LruErase(Shard& s, uint32_t idx);
+  /// Intrusive page-table helpers; require s.mu held.
+  static uint32_t BucketFor(const Shard& s, PageId id) {
+    // Fibonacci hash; buckets.size() is a power of two.
+    const uint32_t h =
+        static_cast<uint32_t>(static_cast<uint64_t>(id) * 2654435769u);
+    return (h >> 16) & (static_cast<uint32_t>(s.buckets.size()) - 1);
+  }
+  /// Frame index of `id`, or kNoFrame.
+  static uint32_t TableFind(const Shard& s, PageId id);
+  /// Installs frame `idx` (whose Frame::id is already set) in the table.
+  static void TableInsert(Shard& s, uint32_t idx);
+  /// Unlinks frame `idx` from the table.
+  static void TableErase(Shard& s, uint32_t idx);
   /// Requires s.mu held. May evict (writing back a dirty victim).
   Result<uint32_t> GetFreeFrameLocked(Shard& s);
   /// Requires s.mu held: pins the frame of `id` if resident.

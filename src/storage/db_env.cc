@@ -10,7 +10,7 @@ Result<std::unique_ptr<DbEnv>> DbEnv::Open(const std::string& path,
   auto pool = std::make_unique<BufferPool>(disk.get(), options.pool_pages,
                                            options.pool_shards);
   return std::unique_ptr<DbEnv>(
-      new DbEnv(std::move(disk), std::move(pool)));
+      new DbEnv(std::move(disk), std::move(pool), options));
 }
 
 }  // namespace dm

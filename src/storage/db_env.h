@@ -22,6 +22,14 @@ struct DbOptions {
   /// original pool exactly; concurrent servers set
   /// `BufferPool::kDefaultShards` (16) to spread lock contention.
   uint32_t pool_shards = 1;
+  /// Decoded-node cache budget in bytes (see dm/node_cache.h). Defaults
+  /// to 0 = disabled so the paper benches keep their disk-read counts
+  /// bit-identical to an uncached run; servers opt in (e.g. 64 MiB).
+  /// Stored here as a plain number — the cache itself lives in the dm
+  /// layer (DmStore), which reads this knob at Build/Open.
+  size_t node_cache_bytes = 0;
+  /// Shards for the decoded-node cache (NodeCache::kDefaultShards).
+  uint32_t node_cache_shards = 16;
   bool truncate = true;
 };
 
@@ -41,6 +49,9 @@ class DbEnv {
   BufferPool& pool() { return *pool_; }
   DiskManager& disk() { return *disk_; }
   uint32_t page_size() const { return disk_->page_size(); }
+  /// The options this environment was opened with (layers above storage
+  /// read their knobs — e.g. node_cache_bytes — from here).
+  const DbOptions& options() const { return options_; }
 
   IoStats stats() const { return pool_->stats(); }
   void ResetStats() { pool_->ResetStats(); }
@@ -54,11 +65,13 @@ class DbEnv {
   Status FlushDirty() { return pool_->FlushDirty(); }
 
  private:
-  DbEnv(std::unique_ptr<DiskManager> disk, std::unique_ptr<BufferPool> pool)
-      : disk_(std::move(disk)), pool_(std::move(pool)) {}
+  DbEnv(std::unique_ptr<DiskManager> disk, std::unique_ptr<BufferPool> pool,
+        const DbOptions& options)
+      : disk_(std::move(disk)), pool_(std::move(pool)), options_(options) {}
 
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<BufferPool> pool_;
+  DbOptions options_;
 };
 
 }  // namespace dm

@@ -198,6 +198,25 @@ Result<DmQueryResult> RunSerial(DmQueryProcessor* proc,
   return Status::InvalidArgument("unknown kind");
 }
 
+// Byte-exact geometry comparison (stats are never compared: disk
+// attribution is approximate under overlap).
+void ExpectSameGeometry(const DmQueryResult& s, const DmQueryResult& p,
+                        size_t query_index) {
+  EXPECT_EQ(s.vertices, p.vertices) << "query " << query_index;
+  ASSERT_EQ(s.positions.size(), p.positions.size()) << "query " << query_index;
+  for (size_t k = 0; k < s.positions.size(); ++k) {
+    EXPECT_EQ(std::memcmp(&s.positions[k], &p.positions[k],
+                          sizeof(s.positions[k])),
+              0)
+        << "query " << query_index << " position " << k;
+  }
+  ASSERT_EQ(s.triangles.size(), p.triangles.size()) << "query " << query_index;
+  for (size_t k = 0; k < s.triangles.size(); ++k) {
+    EXPECT_EQ(s.triangles[k].v, p.triangles[k].v)
+        << "query " << query_index << " triangle " << k;
+  }
+}
+
 TEST_F(ConcurrentQueryTest, ParallelResultsMatchSerialExactly) {
   const std::vector<QueryRequest> workload = MakeMixedWorkload(
       scene_->tree.bounds(), scene_->tree.max_lod(), /*count=*/48,
@@ -225,7 +244,10 @@ TEST_F(ConcurrentQueryTest, ParallelResultsMatchSerialExactly) {
     QueryService service(store_, options);
     for (size_t i = 0; i < workload.size(); ++i) {
       ASSERT_TRUE(service.Submit(
-          workload[i], [&parallel, &failed, i](const Result<DmQueryResult>& r) {
+          workload[i], [&parallel, &failed, i](const Result<DmQueryResult>& r,
+                                               const QueryTiming& t) {
+            EXPECT_GE(t.queue_millis, 0.0);
+            EXPECT_GE(t.exec_millis, 0.0);
             if (r.ok()) {
               parallel[i] = r.value();
             } else {
@@ -238,27 +260,80 @@ TEST_F(ConcurrentQueryTest, ParallelResultsMatchSerialExactly) {
   }
   ASSERT_EQ(failed.load(), 0);
 
-  // Geometry must be byte-identical to the serial run (stats are not
-  // compared: disk-access attribution is approximate under overlap).
+  // Geometry must be byte-identical to the serial run.
   for (size_t i = 0; i < workload.size(); ++i) {
     ASSERT_TRUE(parallel[i].has_value()) << "query " << i;
-    const DmQueryResult& s = serial[i];
-    const DmQueryResult& p = *parallel[i];
-    EXPECT_EQ(s.vertices, p.vertices) << "query " << i;
-    ASSERT_EQ(s.positions.size(), p.positions.size()) << "query " << i;
-    for (size_t k = 0; k < s.positions.size(); ++k) {
-      EXPECT_EQ(std::memcmp(&s.positions[k], &p.positions[k],
-                            sizeof(s.positions[k])),
-                0)
-          << "query " << i << " position " << k;
-    }
-    ASSERT_EQ(s.triangles.size(), p.triangles.size()) << "query " << i;
-    for (size_t k = 0; k < s.triangles.size(); ++k) {
-      EXPECT_EQ(s.triangles[k].v, p.triangles[k].v)
-          << "query " << i << " triangle " << k;
-    }
+    ExpectSameGeometry(serial[i], *parallel[i], i);
   }
   EXPECT_EQ(env_->pool().pinned_frames(), 0);
+}
+
+TEST_F(ConcurrentQueryTest, NodeCacheKeepsGeometryByteIdentical) {
+  const std::vector<QueryRequest> workload = MakeMixedWorkload(
+      scene_->tree.bounds(), scene_->tree.max_lod(), /*count=*/32,
+      /*seed=*/7, /*roi_fraction=*/0.1);
+
+  // Cache-off serial reference.
+  std::vector<DmQueryResult> reference;
+  reference.reserve(workload.size());
+  {
+    DmQueryProcessor proc(store_);
+    for (const QueryRequest& req : workload) {
+      auto r = RunSerial(&proc, req);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      reference.push_back(std::move(r).value());
+    }
+  }
+
+  store_->EnableNodeCache(16u << 20);
+  // Serial cache-warm pass: the first replay fills the cache, the
+  // second must serve hits and still reproduce the reference exactly.
+  {
+    DmQueryProcessor proc(store_);
+    for (const QueryRequest& req : workload) {
+      ASSERT_TRUE(RunSerial(&proc, req).ok());
+    }
+    for (size_t i = 0; i < workload.size(); ++i) {
+      auto r = RunSerial(&proc, workload[i]);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      ExpectSameGeometry(reference[i], r.value(), i);
+      EXPECT_GT(r.value().stats.cache_hits, 0) << "query " << i;
+    }
+  }
+
+  // Parallel replay with the warm cache (workers race on Lookup and
+  // Insert; run under tsan in CI).
+  std::vector<std::optional<DmQueryResult>> parallel(workload.size());
+  std::atomic<int> failed{0};
+  QueryServiceOptions options;
+  options.num_threads = 4;
+  options.queue_capacity = 8;
+  {
+    QueryService service(store_, options);
+    for (size_t i = 0; i < workload.size(); ++i) {
+      ASSERT_TRUE(service.Submit(
+          workload[i], [&parallel, &failed, i](const Result<DmQueryResult>& r,
+                                               const QueryTiming&) {
+            if (r.ok()) {
+              parallel[i] = r.value();
+            } else {
+              failed.fetch_add(1);
+            }
+          }));
+    }
+    service.Drain();
+  }
+  ASSERT_EQ(failed.load(), 0);
+  for (size_t i = 0; i < workload.size(); ++i) {
+    ASSERT_TRUE(parallel[i].has_value()) << "query " << i;
+    ExpectSameGeometry(reference[i], *parallel[i], i);
+  }
+
+  const NodeCacheStats cs = store_->node_cache_stats();
+  EXPECT_GT(cs.hits, 0);
+  EXPECT_GT(cs.entries, 0);
+  EXPECT_LE(cs.bytes, 16 << 20);
+  store_->EnableNodeCache(0);  // restore the suite's shared store
 }
 
 TEST_F(ConcurrentQueryTest, ShutdownDrainsQueuedJobs) {
@@ -272,7 +347,7 @@ TEST_F(ConcurrentQueryTest, ShutdownDrainsQueuedJobs) {
   std::atomic<int> done{0};
   for (const QueryRequest& req : workload) {
     ASSERT_TRUE(service.Submit(
-        req, [&done](const Result<DmQueryResult>& r) {
+        req, [&done](const Result<DmQueryResult>& r, const QueryTiming&) {
           if (r.ok()) done.fetch_add(1);
         }));
   }

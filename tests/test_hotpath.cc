@@ -1,0 +1,349 @@
+// Unit tests for the query hot-path machinery added with the
+// decoded-node cache: the bump arena, the open-addressing flat hash
+// containers, the NodeCache itself, and end-to-end equivalence of
+// query results with the cache and arena toggled.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/flat_hash.h"
+#include "dm/dm_query.h"
+#include "dm/dm_store.h"
+#include "dm/node_cache.h"
+#include "test_util.h"
+
+namespace dm {
+namespace {
+
+using testing::MakeScene;
+using testing::OpenTempEnv;
+using testing::Scene;
+
+// --- Arena -----------------------------------------------------------------
+
+TEST(ArenaTest, AllocatesAlignedAndGrows) {
+  Arena arena;
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  void* a = arena.Allocate(10, 8);
+  void* b = arena.Allocate(100, 16);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 16, 0u);
+  EXPECT_GE(arena.bytes_used(), 110u);
+  // Far past the first block: must chain new blocks, not crash.
+  for (int i = 0; i < 64; ++i) {
+    void* p = arena.Allocate(8192, 8);
+    ASSERT_NE(p, nullptr);
+    std::fill_n(static_cast<uint8_t*>(p), 8192, 0xAB);  // must be writable
+  }
+}
+
+TEST(ArenaTest, ResetKeepsCapacityAndReusesIt) {
+  Arena arena;
+  (void)arena.Allocate(64 << 10, 8);
+  const size_t reserved = arena.bytes_reserved();
+  const int64_t blocks = arena.block_allocations();
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_GT(arena.bytes_reserved(), 0u);
+  EXPECT_LE(arena.bytes_reserved(), reserved);
+  // Steady state: same-size allocation after Reset must not allocate
+  // a new block from the heap.
+  (void)arena.Allocate(32 << 10, 8);
+  EXPECT_EQ(arena.block_allocations(), blocks);
+}
+
+TEST(ArenaTest, AllocatorFallsBackToHeapWithoutArena) {
+  // ArenaAllocator<T> with no arena is a plain heap allocator — the
+  // container types can be shared between arena-on and arena-off
+  // paths.
+  std::vector<int, ArenaAllocator<int>> v;  // default: arena == nullptr
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  EXPECT_EQ(v[999], 999);
+
+  Arena arena;
+  std::vector<int, ArenaAllocator<int>> w{ArenaAllocator<int>(&arena)};
+  for (int i = 0; i < 1000; ++i) w.push_back(i);
+  EXPECT_EQ(w[999], 999);
+  EXPECT_GT(arena.bytes_used(), 0u);
+  EXPECT_FALSE(v.get_allocator() == w.get_allocator());
+}
+
+// --- FlatHashMap / FlatHashSet ----------------------------------------------
+
+TEST(FlatHashTest, MapInsertFindReserve) {
+  FlatHashMap<int64_t, std::string> m(/*empty_key=*/-1, nullptr);
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.find(42), nullptr);
+  m.FindOrEmplace(42) = "a";
+  m.FindOrEmplace(7) = "b";
+  ASSERT_NE(m.find(42), nullptr);
+  EXPECT_EQ(*m.find(42), "a");
+  // FindOrEmplace on an existing key returns the same slot.
+  m.FindOrEmplace(42) += "x";
+  EXPECT_EQ(*m.find(42), "ax");
+  EXPECT_EQ(m.size(), 2u);
+
+  // Growth past the load factor keeps every element findable.
+  for (int64_t i = 0; i < 5000; ++i) m.FindOrEmplace(i) = std::to_string(i);
+  for (int64_t i = 0; i < 5000; ++i) {
+    ASSERT_NE(m.find(i), nullptr) << i;
+    EXPECT_EQ(*m.find(i), std::to_string(i));
+  }
+  EXPECT_EQ(m.find(999999), nullptr);
+}
+
+TEST(FlatHashTest, MapIterationCoversAllEntries) {
+  Arena arena;
+  FlatHashMap<int64_t, int64_t> m(-1, &arena);
+  m.reserve(100);
+  int64_t want_sum = 0;
+  for (int64_t i = 1; i <= 100; ++i) {
+    m.FindOrEmplace(i * 11) = i;
+    want_sum += i;
+  }
+  int64_t sum = 0;
+  size_t n = 0;
+  for (const auto& [k, v] : m) {
+    EXPECT_EQ(k, v * 11);
+    sum += v;
+    ++n;
+  }
+  EXPECT_EQ(n, 100u);
+  EXPECT_EQ(sum, want_sum);
+}
+
+TEST(FlatHashTest, SetInsertContains) {
+  Arena arena;
+  FlatHashSet<int64_t> s(-1, &arena);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_TRUE(s.insert(3));
+  EXPECT_FALSE(s.insert(3));  // duplicate
+  EXPECT_TRUE(s.contains(3));
+  for (int64_t i = 0; i < 3000; ++i) s.insert(i * 2);
+  for (int64_t i = 0; i < 3000; ++i) {
+    EXPECT_TRUE(s.contains(i * 2));
+    if (i * 2 + 1 != 3) {  // 3 was inserted above
+      EXPECT_FALSE(s.contains(i * 2 + 1));
+    }
+  }
+}
+
+TEST(FlatHashTest, ArenaBackedMapAllocatesFromArena) {
+  Arena arena;
+  const size_t used0 = arena.bytes_used();
+  FlatHashMap<int64_t, int64_t> m(-1, &arena);
+  m.reserve(512);
+  for (int64_t i = 0; i < 512; ++i) m.FindOrEmplace(i) = i;
+  EXPECT_GT(arena.bytes_used(), used0);
+}
+
+// --- NodeCache ---------------------------------------------------------------
+
+NodeRef MakeNode(VertexId id, std::initializer_list<VertexId> conns = {}) {
+  DmNode n;
+  n.id = id;
+  n.pos = Point3{static_cast<double>(id), 0.0, 0.0};
+  n.connections.assign(conns.begin(), conns.end());
+  return std::make_shared<const DmNode>(std::move(n));
+}
+
+TEST(NodeCacheTest, LookupMissThenHit) {
+  NodeCache cache(1 << 20, 2);
+  EXPECT_EQ(cache.Lookup(5), nullptr);
+  cache.Insert(5, MakeNode(5));
+  NodeRef hit = cache.Lookup(5);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->id, 5);
+  const NodeCacheStats st = cache.stats();
+  EXPECT_EQ(st.hits, 1);
+  EXPECT_EQ(st.misses, 1);
+  EXPECT_EQ(st.entries, 1);
+  EXPECT_GT(st.bytes, 0);
+}
+
+TEST(NodeCacheTest, EvictsLeastRecentlyUsedUnderPressure) {
+  // A budget that holds only a handful of nodes per shard; one shard
+  // makes the LRU order deterministic.
+  NodeCache cache(4 * (sizeof(DmNode) + 96 + 64), 1);
+  const int n = 32;
+  for (VertexId i = 0; i < n; ++i) {
+    cache.Insert(static_cast<uint64_t>(i), MakeNode(i, {1, 2, 3}));
+  }
+  const NodeCacheStats st = cache.stats();
+  EXPECT_GT(st.evictions, 0);
+  EXPECT_LT(st.entries, n);
+  EXPECT_LE(st.bytes, static_cast<int64_t>(4 * (sizeof(DmNode) + 96 + 64)));
+  // The most recently inserted key must still be resident.
+  EXPECT_NE(cache.Lookup(n - 1), nullptr);
+  // The oldest must be gone.
+  EXPECT_EQ(cache.Lookup(0), nullptr);
+}
+
+TEST(NodeCacheTest, InsertIsFirstWinsAndSharesOwnership) {
+  NodeCache cache(1 << 20, 1);
+  NodeRef a = MakeNode(9, {1});
+  NodeRef b = MakeNode(9, {2});
+  cache.Insert(9, a);
+  cache.Insert(9, b);  // duplicate key: first insert wins
+  NodeRef got = cache.Lookup(9);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got.get(), a.get());
+  // The cached node survives eviction of our local refs.
+  a.reset();
+  b.reset();
+  EXPECT_EQ(cache.Lookup(9)->id, 9);
+}
+
+TEST(NodeCacheTest, ClearEmptiesEverything) {
+  NodeCache cache(1 << 20, 4);
+  for (VertexId i = 0; i < 50; ++i) {
+    cache.Insert(static_cast<uint64_t>(i), MakeNode(i));
+  }
+  cache.Clear();
+  const NodeCacheStats st = cache.stats();
+  EXPECT_EQ(st.entries, 0);
+  EXPECT_EQ(st.bytes, 0);
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+}
+
+TEST(NodeCacheTest, OversizeEntryIsSkipped) {
+  NodeCache cache(64, 1);  // budget below a single node's footprint
+  cache.Insert(1, MakeNode(1, {1, 2, 3, 4, 5}));
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0);
+}
+
+// --- End-to-end: cache and arena do not change results ----------------------
+
+class HotPathQueryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scene_ = new Scene(MakeScene(33));
+    env_ = OpenTempEnv("hotpath").release();
+    auto store_or =
+        DmStore::Build(env_, scene_->base, scene_->tree, scene_->sr);
+    ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+    store_ = new DmStore(std::move(store_or).value());
+  }
+  static void TearDownTestSuite() {
+    delete store_;
+    delete env_;
+    delete scene_;
+  }
+
+  static Scene* scene_;
+  static DbEnv* env_;
+  static DmStore* store_;
+};
+Scene* HotPathQueryTest::scene_ = nullptr;
+DbEnv* HotPathQueryTest::env_ = nullptr;
+DmStore* HotPathQueryTest::store_ = nullptr;
+
+void ExpectSameGeometry(const DmQueryResult& a, const DmQueryResult& b) {
+  EXPECT_EQ(a.vertices, b.vertices);
+  ASSERT_EQ(a.triangles.size(), b.triangles.size());
+  for (size_t k = 0; k < a.triangles.size(); ++k) {
+    EXPECT_EQ(a.triangles[k].v, b.triangles[k].v) << "triangle " << k;
+  }
+}
+
+TEST_F(HotPathQueryTest, CacheAndArenaPreserveGeometry) {
+  const Rect b = scene_->tree.bounds();
+  const Rect roi = Rect::Of(b.lo_x + 0.1 * b.width(), b.lo_y + 0.1 * b.height(),
+                            b.lo_x + 0.9 * b.width(), b.lo_y + 0.9 * b.height());
+  const double lod = scene_->tree.max_lod();
+
+  // Reference: cache off, arena off (the seed configuration).
+  store_->EnableNodeCache(0);
+  DmQueryOptions off;
+  off.use_arena = false;
+  std::vector<DmQueryResult> ref;
+  {
+    DmQueryProcessor proc(store_, off);
+    for (double frac : {0.02, 0.1, 0.4}) {
+      auto r = proc.ViewpointIndependent(roi, frac * lod);
+      ASSERT_TRUE(r.ok());
+      ref.push_back(std::move(r).value());
+    }
+    ViewQuery vq;
+    vq.roi = roi;
+    vq.e_min = 0.01 * lod;
+    vq.e_max = 0.3 * lod;
+    auto r = proc.SingleBase(vq);
+    ASSERT_TRUE(r.ok());
+    ref.push_back(std::move(r).value());
+    auto m = proc.MultiBase(vq);
+    ASSERT_TRUE(m.ok());
+    ref.push_back(std::move(m).value());
+  }
+
+  // All three other configurations must produce byte-identical
+  // geometry — and with the cache enabled the second pass must hit.
+  for (const bool use_cache : {false, true}) {
+    for (const bool use_arena : {false, true}) {
+      if (!use_cache && !use_arena) continue;
+      store_->EnableNodeCache(use_cache ? (8u << 20) : 0);
+      DmQueryOptions qo;
+      qo.use_arena = use_arena;
+      for (int pass = 0; pass < 2; ++pass) {
+        DmQueryProcessor proc(store_, qo);
+        size_t k = 0;
+        for (double frac : {0.02, 0.1, 0.4}) {
+          auto r = proc.ViewpointIndependent(roi, frac * lod);
+          ASSERT_TRUE(r.ok());
+          ExpectSameGeometry(r.value(), ref[k]);
+          ++k;
+        }
+        ViewQuery vq;
+        vq.roi = roi;
+        vq.e_min = 0.01 * lod;
+        vq.e_max = 0.3 * lod;
+        auto r = proc.SingleBase(vq);
+        ASSERT_TRUE(r.ok());
+        ExpectSameGeometry(r.value(), ref[k]);
+        ++k;
+        auto m = proc.MultiBase(vq);
+        ASSERT_TRUE(m.ok());
+        ExpectSameGeometry(m.value(), ref[k]);
+        if (use_cache && pass == 1) {
+          EXPECT_GT(m.value().stats.cache_hits, 0);
+          EXPECT_EQ(m.value().stats.cache_misses, 0);
+        }
+      }
+    }
+  }
+  store_->EnableNodeCache(0);
+}
+
+TEST_F(HotPathQueryTest, StatsReportDiskReadSavings) {
+  const Rect b = scene_->tree.bounds();
+  const Rect roi = Rect::Of(b.lo_x, b.lo_y, b.lo_x + 0.5 * b.width(),
+                            b.lo_y + 0.5 * b.height());
+  const double e = 0.1 * scene_->tree.max_lod();
+
+  store_->EnableNodeCache(8u << 20);
+  DmQueryProcessor proc(store_);
+  ASSERT_TRUE(proc.ViewpointIndependent(roi, e).ok());  // warm
+  ASSERT_TRUE(store_->env()->FlushDirty().ok());
+
+  auto r = proc.ViewpointIndependent(roi, e);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value().stats.cache_hits, 0);
+  EXPECT_EQ(r.value().stats.cache_misses, 0);
+
+  const NodeCacheStats cs = store_->node_cache_stats();
+  EXPECT_GT(cs.hits, 0);
+  EXPECT_GT(cs.entries, 0);
+  store_->EnableNodeCache(0);
+  EXPECT_EQ(store_->node_cache_stats().entries, 0);
+}
+
+}  // namespace
+}  // namespace dm

@@ -228,6 +228,132 @@ TEST_F(HeapFileTest, OpenRecountsRecords) {
   EXPECT_EQ(hf.num_records(), 78);
 }
 
+// --- GetMany / FetchRun coalescing edge cases -----------------------------
+
+TEST_F(HeapFileTest, GetManyEmptyInputIsNoOp) {
+  auto hf = std::move(HeapFile::Create(env_.get())).ValueOrDie();
+  const uint8_t b = 1;
+  ASSERT_TRUE(hf.Append(&b, 1).ok());
+  ASSERT_TRUE(env_->FlushAll().ok());
+  const int64_t reads0 = env_->stats().disk_reads;
+  int calls = 0;
+  ASSERT_TRUE(hf.GetMany({}, [&](RecordId, const uint8_t*, uint32_t) {
+                  ++calls;
+                  return Status::OK();
+                }).ok());
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(env_->stats().disk_reads, reads0);
+}
+
+TEST_F(HeapFileTest, GetManySinglePageRunReadsOnePage) {
+  auto hf = std::move(HeapFile::Create(env_.get())).ValueOrDie();
+  std::vector<RecordId> rids;
+  for (int i = 0; i < 5; ++i) {  // 5 x 50B fits one 512B page
+    std::vector<uint8_t> rec(50, static_cast<uint8_t>(i));
+    rids.push_back(
+        std::move(hf.Append(rec.data(), 50)).ValueOrDie());
+  }
+  ASSERT_EQ(rids.front().page, rids.back().page);
+  ASSERT_TRUE(env_->FlushAll().ok());
+  const int64_t reads0 = env_->stats().disk_reads;
+  int next = 0;
+  ASSERT_TRUE(hf.GetMany(rids,
+                         [&](RecordId, const uint8_t* data, uint32_t len) {
+                           EXPECT_EQ(len, 50u);
+                           EXPECT_EQ(data[0], next++);
+                           return Status::OK();
+                         }).ok());
+  EXPECT_EQ(next, 5);
+  EXPECT_EQ(env_->stats().disk_reads - reads0, 1);
+}
+
+TEST_F(HeapFileTest, GetManyNonAdjacentPagesMatchPerGetAccounting) {
+  auto hf = std::move(HeapFile::Create(env_.get())).ValueOrDie();
+  // ~1 record per 512B page, so consecutive records land on
+  // consecutive pages.
+  std::vector<RecordId> all;
+  for (int i = 0; i < 9; ++i) {
+    std::vector<uint8_t> rec(400, static_cast<uint8_t>(i));
+    all.push_back(std::move(hf.Append(rec.data(), 400)).ValueOrDie());
+  }
+  // Every other record: pages 0, 2, 4, ... — no two adjacent, so no
+  // run may coalesce.
+  std::vector<RecordId> sparse;
+  std::vector<uint8_t> want;
+  for (size_t i = 0; i < all.size(); i += 2) {
+    sparse.push_back(all[i]);
+    want.push_back(static_cast<uint8_t>(i));
+  }
+  for (size_t i = 1; i < sparse.size(); ++i) {
+    ASSERT_GT(sparse[i].page, sparse[i - 1].page + 1);
+  }
+  ASSERT_TRUE(env_->FlushAll().ok());
+  const int64_t reads0 = env_->stats().disk_reads;
+  size_t k = 0;
+  ASSERT_TRUE(hf.GetMany(sparse,
+                         [&](RecordId, const uint8_t* data, uint32_t len) {
+                           EXPECT_EQ(len, 400u);
+                           EXPECT_EQ(data[0], want[k++]);
+                           return Status::OK();
+                         }).ok());
+  EXPECT_EQ(k, sparse.size());
+  const int64_t batch_reads = env_->stats().disk_reads - reads0;
+
+  // Reference: per-record Get from a cold pool.
+  ASSERT_TRUE(env_->FlushAll().ok());
+  const int64_t reads1 = env_->stats().disk_reads;
+  for (const RecordId rid : sparse) {
+    std::vector<uint8_t> buf;
+    ASSERT_TRUE(hf.Get(rid, &buf).ok());
+  }
+  EXPECT_EQ(batch_reads, env_->stats().disk_reads - reads1);
+}
+
+TEST_F(HeapFileTest, GetManyRunCrossingLastPage) {
+  auto hf = std::move(HeapFile::Create(env_.get())).ValueOrDie();
+  std::vector<RecordId> rids;
+  for (int i = 0; i < 6; ++i) {
+    std::vector<uint8_t> rec(400, static_cast<uint8_t>(0x40 + i));
+    rids.push_back(std::move(hf.Append(rec.data(), 400)).ValueOrDie());
+  }
+  // A run that starts mid-file and extends through the final page of
+  // the heap: coalescing must stop exactly at the tail.
+  std::vector<RecordId> tail(rids.begin() + 2, rids.end());
+  ASSERT_EQ(tail.back().page, rids.back().page);
+  ASSERT_TRUE(env_->FlushAll().ok());
+  const int64_t reads0 = env_->stats().disk_reads;
+  int i = 2;
+  ASSERT_TRUE(hf.GetMany(tail,
+                         [&](RecordId, const uint8_t* data, uint32_t len) {
+                           EXPECT_EQ(len, 400u);
+                           EXPECT_EQ(data[0], 0x40 + i++);
+                           return Status::OK();
+                         }).ok());
+  EXPECT_EQ(i, 6);
+  // One read per (single-record) page, coalesced or not.
+  EXPECT_EQ(env_->stats().disk_reads - reads0,
+            static_cast<int64_t>(tail.size()));
+  // Nothing stays pinned after the batch.
+  EXPECT_EQ(env_->pool().pinned_frames(), 0);
+}
+
+TEST_F(HeapFileTest, GetManyDuplicateRidsOnOnePage) {
+  auto hf = std::move(HeapFile::Create(env_.get())).ValueOrDie();
+  const uint8_t b = 0x77;
+  const RecordId rid = std::move(hf.Append(&b, 1)).ValueOrDie();
+  ASSERT_TRUE(env_->FlushAll().ok());
+  const int64_t reads0 = env_->stats().disk_reads;
+  int calls = 0;
+  ASSERT_TRUE(hf.GetMany({rid, rid, rid},
+                         [&](RecordId, const uint8_t* data, uint32_t) {
+                           EXPECT_EQ(data[0], 0x77);
+                           ++calls;
+                           return Status::OK();
+                         }).ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(env_->stats().disk_reads - reads0, 1);
+}
+
 TEST_F(HeapFileTest, RandomizedRoundTripProperty) {
   auto hf = std::move(HeapFile::Create(env_.get())).ValueOrDie();
   Rng rng(321);

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_throughput run against a committed baseline.
+
+Usage:
+  check_bench_regression.py --baseline bench/baselines/BENCH_throughput_tiny.json \
+      --current BENCH_smoke.json [--max-qps-drop-pct 30]
+
+Fails (exit 1) if:
+  * any `threads_N/qps` metric dropped more than --max-qps-drop-pct
+    relative to the baseline, or
+  * any `threads_N/failed` metric in the current run is non-zero.
+
+qps *improvements* never fail, and thread counts present in only one
+of the two files are reported but ignored — the gate is meant to catch
+"someone made the hot path 2x slower", not to pin exact numbers on
+noisy shared CI runners. Keep --max-qps-drop-pct generous.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("bench") != "bench_throughput":
+        sys.exit(f"{path}: not a bench_throughput result ({doc.get('bench')!r})")
+    return doc["metrics"]
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--max-qps-drop-pct", type=float, default=30.0)
+    args = ap.parse_args()
+
+    base = load_metrics(args.baseline)
+    cur = load_metrics(args.current)
+
+    failures = []
+    compared = 0
+    for key, base_qps in sorted(base.items()):
+        if not key.endswith("/qps"):
+            continue
+        if key not in cur:
+            print(f"note: {key} missing from current run, skipping")
+            continue
+        cur_qps = cur[key]
+        drop_pct = 100.0 * (base_qps - cur_qps) / base_qps if base_qps > 0 else 0.0
+        status = "ok"
+        if drop_pct > args.max_qps_drop_pct:
+            status = "REGRESSION"
+            failures.append(
+                f"{key}: {base_qps:.1f} -> {cur_qps:.1f} qps "
+                f"({drop_pct:.1f}% drop > {args.max_qps_drop_pct:.0f}% allowed)"
+            )
+        print(f"{key}: baseline {base_qps:.1f} current {cur_qps:.1f} "
+              f"({-drop_pct:+.1f}%) {status}")
+        compared += 1
+
+    for key, value in sorted(cur.items()):
+        if key.endswith("/failed") and value != 0:
+            failures.append(f"{key}: {int(value)} queries failed")
+
+    if compared == 0:
+        failures.append("no overlapping threads_N/qps metrics to compare")
+
+    if failures:
+        print("\nbench regression check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nbench regression check passed ({compared} qps metrics compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -94,7 +94,9 @@ int Usage() {
       "  dmctl bench-serve --db BASE [--threads 1,2,4] [--queries N] "
       "[--duration-ms MS] [--persp-pct P] [--mb-pct P] [--roi-pct P]\n"
       "              [--shards N] [--read-latency-us N] [--seed S] "
-      "[--json OUT]\n");
+      "[--json OUT]\n"
+      "  dmctl cache-stats --db BASE [--cache-mb MB] [--queries N] "
+      "[--roi-pct P] [--seed S] [--read-latency-us N]\n");
   return 2;
 }
 
@@ -267,6 +269,10 @@ Result<OpenDb> Open(const Args& args, uint32_t default_pool_shards = 1) {
   // (bench-serve) or --shards overrides.
   options.pool_shards =
       static_cast<uint32_t>(args.GetInt("shards", default_pool_shards));
+  // Decoded-node cache, off by default (paper-exact disk accounting);
+  // any command accepts --cache-mb to turn it on.
+  options.node_cache_bytes =
+      static_cast<size_t>(args.GetInt("cache-mb", 0)) * (1u << 20);
   DM_ASSIGN_OR_RETURN(db.env, DbEnv::Open(base + ".db", options));
   DM_ASSIGN_OR_RETURN(DmStore store, DmStore::Open(db.env.get(), db.lm.meta));
   db.store = std::make_unique<DmStore>(std::move(store));
@@ -451,6 +457,64 @@ Status RunBenchServe(const Args& args) {
   return Status::OK();
 }
 
+// Replays a deterministic query batch twice over a node-cache-enabled
+// store and reports decoded-node-cache and buffer-pool counters for
+// the cold and warm passes. The warm pass shows the steady-state hit
+// rate and how many disk reads the cache absorbs.
+Status RunCacheStats(const Args& args) {
+  Args open_args = args;
+  if (!open_args.Has("cache-mb")) open_args.flags["cache-mb"] = "64";
+  DM_ASSIGN_OR_RETURN(OpenDb db, Open(open_args));
+  if (db.store->node_cache() == nullptr) {
+    return Status::InvalidArgument("--cache-mb must be > 0");
+  }
+  db.env->disk().set_simulated_read_latency_micros(
+      static_cast<uint32_t>(args.GetInt("read-latency-us", 0)));
+
+  const int count = static_cast<int>(args.GetInt("queries", 64));
+  if (count <= 0) return Status::InvalidArgument("--queries must be > 0");
+  const DmMeta& meta = db.lm.meta;
+  const std::vector<QueryRequest> workload = MakeMixedWorkload(
+      meta.bounds, meta.max_lod, count,
+      static_cast<uint64_t>(args.GetInt("seed", 12345)),
+      args.GetDouble("roi-pct", 10.0) / 100.0,
+      static_cast<int>(args.GetInt("persp-pct", 40)),
+      static_cast<int>(args.GetInt("mb-pct", 25)));
+
+  NodeCacheStats prev_cache;
+  IoStats prev_io;
+  for (const char* pass : {"cold", "warm"}) {
+    DM_ASSIGN_OR_RETURN(const ThroughputReport r,
+                        RunThroughput(db.store.get(), workload, 1));
+    const NodeCacheStats c = db.store->node_cache_stats();
+    const IoStats io = db.env->stats();
+    const int64_t hits = c.hits - prev_cache.hits;
+    const int64_t misses = c.misses - prev_cache.misses;
+    const double hit_rate =
+        hits + misses > 0
+            ? 100.0 * static_cast<double>(hits) /
+                  static_cast<double>(hits + misses)
+            : 0.0;
+    std::printf("%s pass: %lld queries, %.1f q/s\n", pass,
+                static_cast<long long>(r.queries), r.qps);
+    std::printf(
+        "  node cache:  hits=%lld misses=%lld (%.1f%% hit) "
+        "evictions=%lld resident=%lld entries / %.1f MiB\n",
+        static_cast<long long>(hits), static_cast<long long>(misses),
+        hit_rate, static_cast<long long>(c.evictions - prev_cache.evictions),
+        static_cast<long long>(c.entries),
+        static_cast<double>(c.bytes) / (1u << 20));
+    std::printf(
+        "  buffer pool: fetches=%lld disk_reads=%lld evictions=%lld\n",
+        static_cast<long long>(io.logical_fetches - prev_io.logical_fetches),
+        static_cast<long long>(io.disk_reads - prev_io.disk_reads),
+        static_cast<long long>(io.evictions - prev_io.evictions));
+    prev_cache = c;
+    prev_io = io;
+  }
+  return Status::OK();
+}
+
 int Main(int argc, char** argv) {
   const Args args = ParseArgs(argc, argv);
   Status st;
@@ -466,6 +530,8 @@ int Main(int argc, char** argv) {
     st = RunView(args);
   } else if (args.command == "bench-serve") {
     st = RunBenchServe(args);
+  } else if (args.command == "cache-stats") {
+    st = RunCacheStats(args);
   } else {
     return Usage();
   }
