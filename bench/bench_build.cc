@@ -1,0 +1,315 @@
+// Ingest (build-pipeline) scaling benchmark: runs the full DEM ->
+// triangulation -> QEM simplification -> PM tree -> connection lists
+// -> record encoding -> R*-tree STR pack pipeline at several thread
+// counts and reports the per-stage wall-clock breakdown, end-to-end
+// speedups, and a byte-level determinism check over the built store.
+//
+// Ingest of production terrain is fetch-bound: source tiles live on a
+// tile server or object store, not in local RAM. The bench models
+// that with a fetch stage that copies the source DEM block by block,
+// charging a simulated per-block latency (--fetch-latency-us, the
+// same technique bench_throughput uses for disk reads); blocks fetch
+// concurrently across the build workers. The CPU stages (simplify,
+// connection lists, STR sort, encode) parallelize for real and scale
+// on multicore hosts. Every stage is deterministic by construction,
+// so the bench asserts that the stores built at different thread
+// counts are byte-identical (metrics key `determinism_ok`).
+//
+// Usage: bench_build [--tiny] [--threads=1,2,4,8] [--side=N]
+//                    [--fetch-latency-us=N] [--fetch-block=N]
+//                    [--out=BENCH_build.json]
+//
+// --tiny switches to a 65x65 DEM with microsecond fetch latency for
+// CI smoke runs (determinism still checked; speedup not meaningful).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/parallel.h"
+#include "dem/fractal.h"
+#include "dm/dm_store.h"
+#include "mesh/triangle_mesh.h"
+#include "pm/pm_tree.h"
+#include "simplify/simplifier.h"
+#include "storage/db_env.h"
+
+namespace dm::bench {
+namespace {
+
+struct CliOptions {
+  bool tiny = false;
+  std::vector<int> threads = {1, 2, 4, 8};
+  int side = 385;
+  // Per-block fetch latency. The default models a remote tile server
+  // (tens of ms per tile request); --tiny drops it to microseconds.
+  int fetch_latency_us = 80000;
+  int fetch_block = 32;
+  std::string out = "BENCH_build.json";
+};
+
+bool ParseThreadList(const char* s, std::vector<int>* out) {
+  out->clear();
+  while (*s != '\0') {
+    char* end = nullptr;
+    const long t = std::strtol(s, &end, 10);
+    if (end == s || t <= 0 || t > 256) return false;
+    out->push_back(static_cast<int>(t));
+    s = *end == ',' ? end + 1 : end;
+    if (end == s && *end != '\0') return false;
+  }
+  return !out->empty();
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* opts) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--tiny") == 0) {
+      opts->tiny = true;
+      opts->side = 65;
+      opts->threads = {1, 2};
+      opts->fetch_latency_us = 200;
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      if (!ParseThreadList(arg + 10, &opts->threads)) {
+        std::fprintf(stderr, "bad --threads list: %s\n", arg + 10);
+        return false;
+      }
+    } else if (std::strncmp(arg, "--side=", 7) == 0) {
+      opts->side = std::atoi(arg + 7);
+      if (opts->side < 17) {
+        std::fprintf(stderr, "bad --side (min 17): %s\n", arg + 7);
+        return false;
+      }
+    } else if (std::strncmp(arg, "--fetch-latency-us=", 19) == 0) {
+      opts->fetch_latency_us = std::atoi(arg + 19);
+      if (opts->fetch_latency_us < 0) {
+        std::fprintf(stderr, "bad --fetch-latency-us: %s\n", arg + 19);
+        return false;
+      }
+    } else if (std::strncmp(arg, "--fetch-block=", 14) == 0) {
+      opts->fetch_block = std::atoi(arg + 14);
+      if (opts->fetch_block < 8) {
+        std::fprintf(stderr, "bad --fetch-block (min 8): %s\n", arg + 14);
+        return false;
+      }
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      opts->out = arg + 6;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s\nusage: bench_build [--tiny] "
+                   "[--threads=1,2,4,8] [--side=N] [--fetch-latency-us=N] "
+                   "[--fetch-block=N] [--out=FILE]\n",
+                   arg);
+      return false;
+    }
+  }
+  return true;
+}
+
+double MillisSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// "Fetches" the source DEM into a local grid, block by block, paying
+/// `latency_us` per block (the remote-tile round trip). Blocks are
+/// disjoint, so they fetch concurrently over the pool; the assembled
+/// grid is identical at any thread count.
+DemGrid FetchDem(const DemGrid& remote, WorkerPool& pool, int block,
+                 int latency_us) {
+  DemGrid local(remote.width(), remote.height());
+  const int bx = (remote.width() + block - 1) / block;
+  const int by = (remote.height() + block - 1) / block;
+  const int64_t blocks = static_cast<int64_t>(bx) * by;
+  ParallelFor(pool, blocks, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t b = begin; b < end; ++b) {
+      const int x0 = static_cast<int>(b % bx) * block;
+      const int y0 = static_cast<int>(b / bx) * block;
+      if (latency_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(latency_us));
+      }
+      const int x1 = std::min(remote.width(), x0 + block);
+      const int y1 = std::min(remote.height(), y0 + block);
+      for (int y = y0; y < y1; ++y) {
+        for (int x = x0; x < x1; ++x) {
+          local.set(x, y, remote.at(x, y));
+        }
+      }
+    }
+  });
+  return local;
+}
+
+/// FNV-1a over a whole file; 0 on open failure.
+uint64_t HashFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return 0;
+  uint64_t h = 1469598103934665603ull;
+  char buf[1 << 16];
+  while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+    const std::streamsize n = in.gcount();
+    for (std::streamsize i = 0; i < n; ++i) {
+      h ^= static_cast<unsigned char>(buf[i]);
+      h *= 1099511628211ull;
+    }
+    if (n < static_cast<std::streamsize>(sizeof(buf))) break;
+  }
+  return h;
+}
+
+struct StageTimes {
+  double fetch = 0, triangulate = 0, simplify = 0, pm_tree = 0;
+  DmBuildTimings store;
+  double total() const {
+    return fetch + triangulate + simplify + pm_tree + store.conn_millis +
+           store.str_millis + store.encode_millis + store.append_millis +
+           store.bulkload_millis + store.catalog_millis;
+  }
+};
+
+int Main(int argc, char** argv) {
+  CliOptions opts;
+  if (!ParseArgs(argc, argv, &opts)) return 2;
+
+  FractalParams fp;
+  fp.side = opts.side;
+  fp.seed = 42;
+  const DemGrid remote = GenerateFractalDem(fp);
+  std::fprintf(stderr,
+               "[bench] source DEM %d x %d; fetch %d us per %dx%d block\n",
+               remote.width(), remote.height(), opts.fetch_latency_us,
+               opts.fetch_block, opts.fetch_block);
+
+  BenchJsonWriter writer("bench_build");
+  writer.Add("dataset_side", static_cast<double>(opts.side));
+  writer.Add("fetch_latency_us", static_cast<double>(opts.fetch_latency_us));
+  writer.Add("fetch_block", static_cast<double>(opts.fetch_block));
+  writer.Add("hardware_threads",
+             static_cast<double>(std::thread::hardware_concurrency()));
+
+  std::vector<std::pair<int, double>> totals;
+  uint64_t first_hash = 0;
+  bool determinism_ok = true;
+  for (const int threads : opts.threads) {
+    WorkerPool pool(threads);
+    StageTimes st;
+    auto clock = std::chrono::steady_clock::now();
+    auto lap = [&](double* slot) {
+      *slot = MillisSince(clock);
+      clock = std::chrono::steady_clock::now();
+    };
+
+    const DemGrid dem =
+        FetchDem(remote, pool, opts.fetch_block, opts.fetch_latency_us);
+    lap(&st.fetch);
+    const TriangleMesh mesh = TriangulateDem(dem);
+    lap(&st.triangulate);
+    SimplifyOptions so;
+    so.threads = threads;
+    const SimplifyResult sr = SimplifyMesh(mesh, so);
+    lap(&st.simplify);
+    auto tree_or = PmTree::Build(mesh, sr);
+    if (!tree_or.ok()) {
+      std::fprintf(stderr, "pm tree build failed: %s\n",
+                   tree_or.status().ToString().c_str());
+      return 1;
+    }
+    const PmTree tree = std::move(tree_or).value();
+    lap(&st.pm_tree);
+
+    const std::string db_path =
+        BenchDataDir() + "/bench_build_t" + std::to_string(threads) + ".db";
+    std::remove(db_path.c_str());
+    auto env_or = DbEnv::Open(db_path, {});
+    if (!env_or.ok()) {
+      std::fprintf(stderr, "env open failed: %s\n",
+                   env_or.status().ToString().c_str());
+      return 1;
+    }
+    auto env = std::move(env_or).value();
+    DmStoreOptions dm_opts;
+    dm_opts.threads = threads;
+    dm_opts.timings = &st.store;
+    auto store_or = DmStore::Build(env.get(), mesh, tree, sr, dm_opts);
+    if (!store_or.ok()) {
+      std::fprintf(stderr, "store build failed: %s\n",
+                   store_or.status().ToString().c_str());
+      return 1;
+    }
+    if (auto flush = env->FlushAll(); !flush.ok()) {
+      std::fprintf(stderr, "flush failed: %s\n",
+                   flush.ToString().c_str());
+      return 1;
+    }
+
+    const uint64_t hash = HashFile(db_path);
+    if (first_hash == 0) {
+      first_hash = hash;
+    } else if (hash != first_hash) {
+      determinism_ok = false;
+    }
+    std::printf(
+        "threads=%d total=%.1fms  fetch=%.1f triangulate=%.1f "
+        "simplify=%.1f pm=%.1f conn=%.1f str=%.1f encode=%.1f append=%.1f "
+        "rtree=%.1f catalog=%.1f  hash=%016llx\n",
+        threads, st.total(), st.fetch, st.triangulate, st.simplify,
+        st.pm_tree, st.store.conn_millis, st.store.str_millis,
+        st.store.encode_millis, st.store.append_millis,
+        st.store.bulkload_millis, st.store.catalog_millis,
+        static_cast<unsigned long long>(hash));
+
+    const std::string p = "threads_" + std::to_string(threads) + "/";
+    writer.Add(p + "fetch_millis", st.fetch);
+    writer.Add(p + "triangulate_millis", st.triangulate);
+    writer.Add(p + "simplify_millis", st.simplify);
+    writer.Add(p + "pm_tree_millis", st.pm_tree);
+    writer.Add(p + "conn_millis", st.store.conn_millis);
+    writer.Add(p + "str_millis", st.store.str_millis);
+    writer.Add(p + "encode_millis", st.store.encode_millis);
+    writer.Add(p + "append_millis", st.store.append_millis);
+    writer.Add(p + "rtree_pack_millis", st.store.bulkload_millis);
+    writer.Add(p + "catalog_millis", st.store.catalog_millis);
+    writer.Add(p + "total_millis", st.total());
+    totals.emplace_back(threads, st.total());
+    std::remove(db_path.c_str());
+  }
+
+  // End-to-end speedups versus the slowest-threaded run measured.
+  double base_total = 0.0;
+  for (const auto& [t, total] : totals) {
+    if (t == 1) base_total = total;
+  }
+  if (base_total > 0) {
+    for (const auto& [t, total] : totals) {
+      if (t != 1 && total > 0) {
+        writer.Add("speedup_" + std::to_string(t) + "t", base_total / total);
+      }
+    }
+  }
+  writer.Add("determinism_ok", determinism_ok ? 1.0 : 0.0);
+  char hash_str[32];
+  std::snprintf(hash_str, sizeof(hash_str), "%016llx",
+                static_cast<unsigned long long>(first_hash));
+  writer.Add("store_hash", std::string(hash_str));
+  if (!writer.WriteFile(opts.out)) return 1;
+  if (!determinism_ok) {
+    std::fprintf(stderr,
+                 "DETERMINISM FAILURE: stores differ across thread counts\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dm::bench
+
+int main(int argc, char** argv) { return dm::bench::Main(argc, argv); }

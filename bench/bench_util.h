@@ -28,7 +28,12 @@ class BenchJsonWriter {
   explicit BenchJsonWriter(std::string bench) : bench_(std::move(bench)) {}
 
   void Add(const std::string& name, double value) {
-    metrics_.emplace_back(name, value);
+    metrics_.emplace_back(name, Value{value, "", false});
+  }
+  /// String-valued metric (host names, dataset labels, git revisions);
+  /// emitted as a JSON string with full escaping.
+  void Add(const std::string& name, const std::string& value) {
+    metrics_.emplace_back(name, Value{0.0, value, true});
   }
 
   std::string ToJson() const {
@@ -43,9 +48,13 @@ class BenchJsonWriter {
       out.append("\"");
       out.append(Escaped(name));
       out.append("\": ");
-      if (std::isfinite(value)) {
+      if (value.is_string) {
+        out.append("\"");
+        out.append(Escaped(value.str));
+        out.append("\"");
+      } else if (std::isfinite(value.num)) {
         char buf[64];
-        std::snprintf(buf, sizeof(buf), "%.6g", value);
+        std::snprintf(buf, sizeof(buf), "%.6g", value.num);
         out += buf;
       } else {
         out += "null";
@@ -72,18 +81,44 @@ class BenchJsonWriter {
   }
 
  private:
+  struct Value {
+    double num = 0.0;
+    std::string str;
+    bool is_string = false;
+  };
+
+  /// Escapes `"`, `\`, and the control range (U+0000..U+001F) per RFC
+  /// 8259, so any byte sequence round-trips as a strict-JSON string.
   static std::string Escaped(const std::string& s) {
     std::string out;
     out.reserve(s.size());
     for (char c : s) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
+      const auto u = static_cast<unsigned char>(c);
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (u < 0x20) {
+        switch (c) {
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default: {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+            out += buf;
+          }
+        }
+      } else {
+        out += c;
+      }
     }
     return out;
   }
 
   std::string bench_;
-  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, Value>> metrics_;
 };
 
 /// Number of random query locations averaged per data point (the paper

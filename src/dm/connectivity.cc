@@ -1,9 +1,12 @@
 #include "dm/connectivity.h"
 
 #include <algorithm>
+#include <atomic>
+#include <utility>
 
 #include "common/arena.h"
 #include "common/flat_hash.h"
+#include "common/parallel.h"
 
 namespace dm {
 
@@ -11,9 +14,106 @@ namespace {
 bool IntervalsOverlap(const PmNode& a, const PmNode& b) {
   return std::max(a.e_low, b.e_low) < std::min(a.e_high, b.e_high);
 }
+
+/// Sorted-unique undirected base-mesh edges as (min, max) pairs.
+std::vector<std::pair<VertexId, VertexId>> BaseEdges(const TriangleMesh& base,
+                                                     WorkerPool& pool) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(base.num_triangles() * 3u);
+  for (const Triangle& t : base.triangles()) {
+    for (int i = 0; i < 3; ++i) {
+      VertexId a = t[i];
+      VertexId b = t[(i + 1) % 3];
+      if (a > b) std::swap(a, b);
+      edges.emplace_back(a, b);
+    }
+  }
+  ParallelStableSort(pool, edges);
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
 }  // namespace
 
 std::vector<std::vector<VertexId>> BuildConnectionLists(
+    const TriangleMesh& base, const PmTree& tree, const SimplifyResult& sr,
+    int threads) {
+  (void)sr;  // the chain walk only needs the finished tree
+  WorkerPool pool(EffectiveThreads(threads));
+  const int64_t total = tree.num_nodes();
+
+  const auto edges = BaseEdges(base, pool);
+
+  // For every base edge (a, b): the connected pairs it witnesses are
+  // exactly the interval-overlapping pairs (u, v) with u on a's
+  // ancestor chain and v on b's, both strictly below the LCA. (At or
+  // above the LCA the chains coincide or the pair is ancestor-related,
+  // and chain intervals tile — child e_high == parent e_low — so such
+  // pairs never overlap anyway; the walk stops when the chains meet.)
+  // Intervals ascend along each chain, so a two-pointer sweep that
+  // advances the smaller e_high enumerates every overlapping pair
+  // once. Base edges are independent: each chunk appends to its own
+  // buffer, and the global sort below makes the result order-free.
+  const int64_t n_edges = static_cast<int64_t>(edges.size());
+  constexpr int64_t kGrain = 2048;
+  std::vector<std::vector<std::pair<VertexId, VertexId>>> chunk_pairs(
+      static_cast<size_t>((n_edges + kGrain - 1) / kGrain));
+  ParallelFor(pool, n_edges, kGrain, [&](int64_t begin, int64_t end) {
+    auto& out = chunk_pairs[static_cast<size_t>(begin / kGrain)];
+    for (int64_t i = begin; i < end; ++i) {
+      VertexId u = edges[static_cast<size_t>(i)].first;
+      VertexId v = edges[static_cast<size_t>(i)].second;
+      while (u != v && u != kInvalidVertex && v != kInvalidVertex) {
+        const PmNode& nu = tree.node(u);
+        const PmNode& nv = tree.node(v);
+        if (IntervalsOverlap(nu, nv)) {
+          out.emplace_back(std::min(u, v), std::max(u, v));
+        }
+        if (nu.e_high <= nv.e_high) {
+          u = nu.parent;
+        } else {
+          v = nv.parent;
+        }
+      }
+    }
+  });
+
+  // Both directions of every pair, globally sorted and deduplicated,
+  // then split per node; each slice is already sorted-unique.
+  size_t num_pairs = 0;
+  for (const auto& c : chunk_pairs) num_pairs += c.size();
+  std::vector<std::pair<VertexId, VertexId>> directed;
+  directed.reserve(2 * num_pairs);
+  for (const auto& c : chunk_pairs) {
+    for (const auto& [u, v] : c) {
+      directed.emplace_back(u, v);
+      directed.emplace_back(v, u);
+    }
+  }
+  ParallelStableSort(pool, directed);
+  directed.erase(std::unique(directed.begin(), directed.end()),
+                 directed.end());
+
+  std::vector<int64_t> off(static_cast<size_t>(total) + 1, 0);
+  for (const auto& [u, v] : directed) ++off[static_cast<size_t>(u) + 1];
+  for (int64_t v = 0; v < total; ++v) {
+    off[static_cast<size_t>(v) + 1] += off[static_cast<size_t>(v)];
+  }
+  std::vector<std::vector<VertexId>> conn(static_cast<size_t>(total));
+  ParallelFor(pool, total, 512, [&](int64_t begin, int64_t end) {
+    for (int64_t v = begin; v < end; ++v) {
+      auto& list = conn[static_cast<size_t>(v)];
+      list.reserve(static_cast<size_t>(off[static_cast<size_t>(v) + 1] -
+                                       off[static_cast<size_t>(v)]));
+      for (int64_t i = off[static_cast<size_t>(v)];
+           i < off[static_cast<size_t>(v) + 1]; ++i) {
+        list.push_back(directed[static_cast<size_t>(i)].second);
+      }
+    }
+  });
+  return conn;
+}
+
+std::vector<std::vector<VertexId>> BuildConnectionListsContraction(
     const TriangleMesh& base, const PmTree& tree,
     const SimplifyResult& sr) {
   const int64_t total = tree.num_nodes();
@@ -113,7 +213,9 @@ std::vector<std::vector<VertexId>> BuildConnectionLists(
 
 ConnectivityStats ComputeConnectivityStats(
     const TriangleMesh& base, const PmTree& tree,
-    const std::vector<std::vector<VertexId>>& connections, int64_t sample) {
+    const std::vector<std::vector<VertexId>>& connections, int64_t sample,
+    int threads) {
+  WorkerPool pool(EffectiveThreads(threads));
   ConnectivityStats stats;
   int64_t total_similar = 0;
   for (const auto& list : connections) {
@@ -147,53 +249,60 @@ ConnectivityStats ComputeConnectivityStats(
   }
 
   const int64_t step = std::max<int64_t>(1, n / std::max<int64_t>(1, sample));
-  int64_t sampled = 0;
-  int64_t closure_total = 0;
-  // The membership sets are pure per-sample scratch: back them with one
-  // arena rewound each iteration, so the sampling loop stops touching
-  // the heap once the largest sample has sized the slab.
-  Arena scratch;
-  std::vector<VertexId> leaves;
-  std::vector<VertexId> stack;
-  for (VertexId m = 0; m < n; m += step) {
-    scratch.Reset();
-    // Leaves of m's subtree.
-    FlatHashSet<VertexId> in_subtree(kInvalidVertex, &scratch);
-    leaves.clear();
-    stack.assign(1, m);
-    while (!stack.empty()) {
-      const VertexId v = stack.back();
-      stack.pop_back();
-      in_subtree.insert(v);
-      const PmNode& node = tree.node(v);
-      if (node.is_leaf()) {
-        leaves.push_back(v);
-      } else {
-        stack.push_back(node.child1);
-        stack.push_back(node.child2);
-      }
-    }
-    // Ancestors of m (these contain m and are excluded).
-    FlatHashSet<VertexId> ancestors(kInvalidVertex, &scratch);
-    for (VertexId a = tree.node(m).parent; a != kInvalidVertex;
-         a = tree.node(a).parent) {
-      ancestors.insert(a);
-    }
-    // Every node on the ancestor-or-self chain of an outside leaf
-    // adjacent to the subtree, excluding m's ancestors, can meet m.
-    FlatHashSet<VertexId> closure(kInvalidVertex, &scratch);
-    for (VertexId leaf : leaves) {
-      for (VertexId nb : leaf_adj[static_cast<size_t>(leaf)]) {
-        if (in_subtree.contains(nb)) continue;
-        for (VertexId a = nb; a != kInvalidVertex; a = tree.node(a).parent) {
-          if (ancestors.contains(a)) break;  // contains m; stop the chain
-          closure.insert(a);
+  std::vector<VertexId> sample_ids;
+  for (VertexId m = 0; m < n; m += step) sample_ids.push_back(m);
+  const int64_t sampled = static_cast<int64_t>(sample_ids.size());
+  // Samples are independent and each contributes an integer closure
+  // size; the atomic sum is order-free, so the total is identical at
+  // any thread count. Scratch (arena-backed sets) is per chunk.
+  std::atomic<int64_t> closure_atomic{0};
+  ParallelFor(pool, sampled, 8, [&](int64_t begin, int64_t end) {
+    Arena scratch;
+    std::vector<VertexId> leaves;
+    std::vector<VertexId> stack;
+    int64_t closure_local = 0;
+    for (int64_t s = begin; s < end; ++s) {
+      const VertexId m = sample_ids[static_cast<size_t>(s)];
+      scratch.Reset();
+      // Leaves of m's subtree.
+      FlatHashSet<VertexId> in_subtree(kInvalidVertex, &scratch);
+      leaves.clear();
+      stack.assign(1, m);
+      while (!stack.empty()) {
+        const VertexId v = stack.back();
+        stack.pop_back();
+        in_subtree.insert(v);
+        const PmNode& node = tree.node(v);
+        if (node.is_leaf()) {
+          leaves.push_back(v);
+        } else {
+          stack.push_back(node.child1);
+          stack.push_back(node.child2);
         }
       }
+      // Ancestors of m (these contain m and are excluded).
+      FlatHashSet<VertexId> ancestors(kInvalidVertex, &scratch);
+      for (VertexId a = tree.node(m).parent; a != kInvalidVertex;
+           a = tree.node(a).parent) {
+        ancestors.insert(a);
+      }
+      // Every node on the ancestor-or-self chain of an outside leaf
+      // adjacent to the subtree, excluding m's ancestors, can meet m.
+      FlatHashSet<VertexId> closure(kInvalidVertex, &scratch);
+      for (VertexId leaf : leaves) {
+        for (VertexId nb : leaf_adj[static_cast<size_t>(leaf)]) {
+          if (in_subtree.contains(nb)) continue;
+          for (VertexId a = nb; a != kInvalidVertex; a = tree.node(a).parent) {
+            if (ancestors.contains(a)) break;  // contains m; stop the chain
+            closure.insert(a);
+          }
+        }
+      }
+      closure_local += static_cast<int64_t>(closure.size());
     }
-    closure_total += static_cast<int64_t>(closure.size());
-    ++sampled;
-  }
+    closure_atomic.fetch_add(closure_local, std::memory_order_relaxed);
+  });
+  const int64_t closure_total = closure_atomic.load();
   stats.sampled_nodes = sampled;
   stats.avg_total_connections =
       sampled > 0 ? static_cast<double>(closure_total) / sampled : 0;

@@ -30,19 +30,32 @@ struct ConnectivityStats {
 /// mesh has an edge between u's and v's leaf descendants — exactly the
 /// pairs that are adjacent in every uniform-LOD cut both belong to.
 ///
-/// Built by one graph-contraction pass over the collapse sequence in
-/// ascending normalized-LOD order, recording each edge at the moment
-/// its younger endpoint is born.
+/// Built by merge-walking, for every base-mesh edge (a, b), the
+/// ancestor chains of a and b up to their lowest common ancestor and
+/// emitting the interval-overlapping pairs; base edges are independent
+/// of each other, so the walk parallelizes over `threads` workers and
+/// the output is identical at any thread count (per-node lists are
+/// sorted and deduplicated globally).
 std::vector<std::vector<VertexId>> BuildConnectionLists(
+    const TriangleMesh& base, const PmTree& tree,
+    const SimplifyResult& sr, int threads = 1);
+
+/// Reference builder: one sequential graph-contraction pass over the
+/// collapse sequence in ascending normalized-LOD order, recording each
+/// edge at the moment its younger endpoint is born. Produces exactly
+/// the lists of BuildConnectionLists; kept for equivalence testing.
+std::vector<std::vector<VertexId>> BuildConnectionListsContraction(
     const TriangleMesh& base, const PmTree& tree,
     const SimplifyResult& sr);
 
 /// Computes the similar-LOD statistics, and the total-closure average
 /// over `sample` nodes (deterministically spread over the id range).
+/// All reductions are integer sums/maxima, so the result is identical
+/// at any thread count.
 ConnectivityStats ComputeConnectivityStats(
     const TriangleMesh& base, const PmTree& tree,
     const std::vector<std::vector<VertexId>>& connections,
-    int64_t sample = 512);
+    int64_t sample = 512, int threads = 1);
 
 }  // namespace dm
 

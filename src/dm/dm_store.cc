@@ -1,17 +1,44 @@
 #include "dm/dm_store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "dm/connectivity.h"
 
 namespace dm {
 
+namespace {
+double MillisSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
 Result<DmStore> DmStore::Build(DbEnv* env, const TriangleMesh& base,
                                const PmTree& tree, const SimplifyResult& sr,
                                const DmStoreOptions& options) {
-  const auto connections = BuildConnectionLists(base, tree, sr);
+  WorkerPool pool(EffectiveThreads(options.threads));
+  DmBuildTimings local_timings;
+  DmBuildTimings* timings =
+      options.timings != nullptr ? options.timings : &local_timings;
+  auto clock = std::chrono::steady_clock::now();
+  auto take_stage = [&](double* slot) {
+    *slot = MillisSince(clock);
+    clock = std::chrono::steady_clock::now();
+  };
+
+  std::vector<std::vector<VertexId>> own_connections;
+  if (options.connections == nullptr) {
+    own_connections = BuildConnectionLists(base, tree, sr, pool.threads());
+  }
+  const std::vector<std::vector<VertexId>>& connections =
+      options.connections != nullptr ? *options.connections : own_connections;
+  take_stage(&timings->conn_millis);
+
   const int64_t total = tree.num_nodes();
   const Rect bounds = tree.bounds();
   const double max_lod = tree.max_lod();
@@ -19,13 +46,15 @@ Result<DmStore> DmStore::Build(DbEnv* env, const TriangleMesh& base,
   // Vertical segments in (x, y, e); the root's +inf top is capped at
   // the dataset maximum (no query ever exceeds it).
   std::vector<Box> segments(static_cast<size_t>(total));
-  for (VertexId i = 0; i < total; ++i) {
-    const PmNode& n = tree.node(i);
-    const double top = std::isinf(n.e_high) ? max_lod : n.e_high;
-    segments[static_cast<size_t>(i)] =
-        Box::Of(n.pos.x, n.pos.y, n.e_low, n.pos.x, n.pos.y,
-                std::max(top, n.e_low));
-  }
+  ParallelFor(pool, total, 1024, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const PmNode& n = tree.node(i);
+      const double top = std::isinf(n.e_high) ? max_lod : n.e_high;
+      segments[static_cast<size_t>(i)] =
+          Box::Of(n.pos.x, n.pos.y, n.e_low, n.pos.x, n.pos.y,
+                  std::max(top, n.e_low));
+    }
+  });
 
   // Records are laid out in the STR packing order of their index
   // entries (clustered storage): records co-retrieved by a range query
@@ -34,37 +63,52 @@ Result<DmStore> DmStore::Build(DbEnv* env, const TriangleMesh& base,
   // clustering ... as much as possible" while also clustering the LOD
   // dimension the paper's queries slice on.
   const std::vector<size_t> order = RStarTree::StrOrder(
-      segments, RStarTree::LeafCapacityFor(env->page_size()));
+      segments, RStarTree::LeafCapacityFor(env->page_size()), pool);
+  take_stage(&timings->str_millis);
 
+  // Encode every record into its own buffer (disjoint slots, so the
+  // loop parallelizes over index ranges) ...
+  std::vector<std::vector<uint8_t>> encoded(order.size());
+  ParallelFor(pool, static_cast<int64_t>(order.size()), 256,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) {
+                  const size_t idx = order[static_cast<size_t>(i)];
+                  const PmNode& n = tree.node(static_cast<VertexId>(idx));
+                  DmNode rec;
+                  rec.id = n.id;
+                  rec.pos = n.pos;
+                  rec.e_low = n.e_low;
+                  rec.e_high = n.e_high;
+                  rec.parent = n.parent;
+                  rec.child1 = n.child1;
+                  rec.child2 = n.child2;
+                  rec.wing1 = n.wing1;
+                  rec.wing2 = n.wing2;
+                  rec.connections = connections[idx];
+                  if (options.compress_records) {
+                    rec.EncodeCompressedTo(&encoded[static_cast<size_t>(i)]);
+                  } else {
+                    rec.EncodeTo(&encoded[static_cast<size_t>(i)]);
+                  }
+                }
+              });
+  take_stage(&timings->encode_millis);
+
+  // ... then append sequentially in STR order, so page allocation and
+  // record ids are independent of the thread count.
   DM_ASSIGN_OR_RETURN(HeapFile heap, HeapFile::Create(env));
+  std::vector<RecordId> rids;
+  rids.reserve(order.size());
+  DM_RETURN_NOT_OK(heap.AppendMany(encoded, &rids));
   std::vector<std::pair<Box, uint64_t>> entries;
   entries.reserve(order.size());
-  std::vector<uint8_t> buf;
-  for (size_t idx : order) {
-    const PmNode& n = tree.node(static_cast<VertexId>(idx));
-    DmNode rec;
-    rec.id = n.id;
-    rec.pos = n.pos;
-    rec.e_low = n.e_low;
-    rec.e_high = n.e_high;
-    rec.parent = n.parent;
-    rec.child1 = n.child1;
-    rec.child2 = n.child2;
-    rec.wing1 = n.wing1;
-    rec.wing2 = n.wing2;
-    rec.connections = connections[idx];
-    buf.clear();
-    if (options.compress_records) {
-      rec.EncodeCompressedTo(&buf);
-    } else {
-      rec.EncodeTo(&buf);
-    }
-    DM_ASSIGN_OR_RETURN(
-        const RecordId rid,
-        heap.Append(buf.data(), static_cast<uint32_t>(buf.size())));
-    entries.emplace_back(segments[idx], rid.Pack());
+  for (size_t i = 0; i < order.size(); ++i) {
+    entries.emplace_back(segments[order[i]], rids[i].Pack());
   }
+  take_stage(&timings->append_millis);
+
   DM_ASSIGN_OR_RETURN(RStarTree rtree, RStarTree::BulkLoad(env, entries));
+  take_stage(&timings->bulkload_millis);
   DmStore store(env, std::move(heap), std::move(rtree));
 
   store.meta_.heap_first = store.heap_.first_page();
@@ -77,6 +121,7 @@ Result<DmStore> DmStore::Build(DbEnv* env, const TriangleMesh& base,
   store.meta_.bounds = bounds;
   store.meta_.compressed = options.compress_records;
   DM_RETURN_NOT_OK(store.LoadCatalog());
+  take_stage(&timings->catalog_millis);
   // A rebuild yields a new store and thus a brand-new cache; any cache
   // of a previous generation dies with its store, so no decoded node
   // can outlive the heap records it came from.

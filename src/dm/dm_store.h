@@ -36,6 +36,17 @@ struct DmMeta {
   bool compressed = false;
 };
 
+/// Wall-clock breakdown of one DmStore::Build call, for build
+/// progress reporting and the ingest bench.
+struct DmBuildTimings {
+  double conn_millis = 0.0;      // connection lists (skipped if precomputed)
+  double str_millis = 0.0;       // STR packing order
+  double encode_millis = 0.0;    // record encoding
+  double append_millis = 0.0;    // heap writes
+  double bulkload_millis = 0.0;  // R*-tree pack
+  double catalog_millis = 0.0;   // catalog / cost-model snapshot
+};
+
 /// Build-time options of a DM database.
 struct DmStoreOptions {
   /// Store records with the delta/varint codec (the compressed-MTM
@@ -43,6 +54,18 @@ struct DmStoreOptions {
   /// half, which the compression ablation translates into disk
   /// accesses.
   bool compress_records = false;
+  /// Worker threads for connection lists, STR sorting, and record
+  /// encoding (<= 0 means one per hardware core). The built files are
+  /// byte-identical at any thread count: parallel stages either have
+  /// one valid answer (sorts under total orders) or write disjoint
+  /// slots, and everything that allocates pages stays sequential.
+  int threads = 1;
+  /// Connection lists computed by the caller (must match
+  /// BuildConnectionLists for the same tree); skips the rebuild so
+  /// callers that also need the lists for stats don't pay twice.
+  const std::vector<std::vector<VertexId>>* connections = nullptr;
+  /// When non-null, receives the per-stage wall-clock breakdown.
+  DmBuildTimings* timings = nullptr;
 };
 
 /// A Direct Mesh database: DM node records in a heap file (appended in

@@ -59,9 +59,20 @@ uint32_t RStarTree::LeafCapacityFor(uint32_t page_size) {
 
 std::vector<size_t> RStarTree::StrOrder(const std::vector<Box>& boxes,
                                         uint32_t leaf_capacity) {
+  WorkerPool pool(1);
+  return StrOrder(boxes, leaf_capacity, pool);
+}
+
+std::vector<size_t> RStarTree::StrOrder(const std::vector<Box>& boxes,
+                                        uint32_t leaf_capacity,
+                                        WorkerPool& pool) {
   // Sort-Tile-Recursive in 3D: slice by x into vertical slabs, each
   // slab by y into runs, each run by e. Slab counts follow the cube
-  // root rule so leaves get near-square extents.
+  // root rule so leaves get near-square extents. Every comparator is a
+  // total order (index tie-break), so each sorted range has exactly
+  // one answer: the x sort parallelizes as a stable merge sort and the
+  // independent slab/run sorts fan out over the pool without changing
+  // the permutation.
   const size_t n = boxes.size();
   std::vector<size_t> order(n);
   for (size_t i = 0; i < n; ++i) order[i] = i;
@@ -76,40 +87,60 @@ std::vector<size_t> RStarTree::StrOrder(const std::vector<Box>& boxes,
       static_cast<size_t>((n + leaf_capacity - 1) / leaf_capacity);
   const auto slabs_x = static_cast<size_t>(
       std::ceil(std::cbrt(static_cast<double>(num_leaves))));
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+  ParallelStableSort(pool, order, [&](size_t a, size_t b) {
     const double ca = center(a, 0);
     const double cb = center(b, 0);
     if (ca != cb) return ca < cb;
     return a < b;
   });
   const size_t slab_size = (n + slabs_x - 1) / slabs_x;
+
+  // Collect the slab ranges, y-sort them in parallel, then collect the
+  // run ranges of every slab and e-sort those in parallel. Ranges are
+  // disjoint, so workers never touch the same elements.
+  std::vector<std::pair<size_t, size_t>> slabs;
   for (size_t s0 = 0; s0 < n; s0 += slab_size) {
-    const size_t s1 = std::min(n, s0 + slab_size);
-    std::sort(order.begin() + static_cast<ptrdiff_t>(s0),
-              order.begin() + static_cast<ptrdiff_t>(s1),
-              [&](size_t a, size_t b) {
-                const double ca = center(a, 1);
-                const double cb = center(b, 1);
-                if (ca != cb) return ca < cb;
-                return a < b;
+    slabs.emplace_back(s0, std::min(n, s0 + slab_size));
+  }
+  ParallelFor(pool, static_cast<int64_t>(slabs.size()), 1,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t s = begin; s < end; ++s) {
+                  const auto [s0, s1] = slabs[static_cast<size_t>(s)];
+                  std::sort(order.begin() + static_cast<ptrdiff_t>(s0),
+                            order.begin() + static_cast<ptrdiff_t>(s1),
+                            [&](size_t a, size_t b) {
+                              const double ca = center(a, 1);
+                              const double cb = center(b, 1);
+                              if (ca != cb) return ca < cb;
+                              return a < b;
+                            });
+                }
               });
+  std::vector<std::pair<size_t, size_t>> runs;
+  for (const auto& [s0, s1] : slabs) {
     const size_t leaves_in_slab =
         ((s1 - s0) + leaf_capacity - 1) / leaf_capacity;
     const auto runs_y = static_cast<size_t>(
         std::ceil(std::sqrt(static_cast<double>(leaves_in_slab))));
     const size_t run_size = ((s1 - s0) + runs_y - 1) / runs_y;
     for (size_t r0 = s0; r0 < s1; r0 += run_size) {
-      const size_t r1 = std::min(s1, r0 + run_size);
-      std::sort(order.begin() + static_cast<ptrdiff_t>(r0),
-                order.begin() + static_cast<ptrdiff_t>(r1),
-                [&](size_t a, size_t b) {
-                  const double ca = center(a, 2);
-                  const double cb = center(b, 2);
-                  if (ca != cb) return ca < cb;
-                  return a < b;
-                });
+      runs.emplace_back(r0, std::min(s1, r0 + run_size));
     }
   }
+  ParallelFor(pool, static_cast<int64_t>(runs.size()), 1,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t r = begin; r < end; ++r) {
+                  const auto [r0, r1] = runs[static_cast<size_t>(r)];
+                  std::sort(order.begin() + static_cast<ptrdiff_t>(r0),
+                            order.begin() + static_cast<ptrdiff_t>(r1),
+                            [&](size_t a, size_t b) {
+                              const double ca = center(a, 2);
+                              const double cb = center(b, 2);
+                              if (ca != cb) return ca < cb;
+                              return a < b;
+                            });
+                }
+              });
   return order;
 }
 

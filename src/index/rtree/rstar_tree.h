@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/geometry.h"
+#include "common/parallel.h"
 #include "common/status.h"
 #include "storage/db_env.h"
 #include "storage/page.h"
@@ -52,8 +53,16 @@ class RStarTree {
   /// order, consecutive `leaf_capacity`-sized runs forming one leaf.
   /// Callers that co-locate records with the index (clustered storage)
   /// write their data file in this order.
+  ///
+  /// The overload taking a WorkerPool runs the x sort as a parallel
+  /// stable merge sort and fans the per-slab y / per-run e sorts out
+  /// over the pool; every comparator is a total order (index
+  /// tie-break), so the permutation is identical at any thread count.
   static std::vector<size_t> StrOrder(const std::vector<Box>& boxes,
                                       uint32_t leaf_capacity);
+  static std::vector<size_t> StrOrder(const std::vector<Box>& boxes,
+                                      uint32_t leaf_capacity,
+                                      WorkerPool& pool);
   /// Capacity used by BulkLoad leaves (== MaxEntries()).
   static uint32_t LeafCapacityFor(uint32_t page_size);
 

@@ -2,29 +2,34 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "simplify/quadric.h"
 
 namespace dm {
 
 namespace {
 
+// A candidate contraction. Costs are fixed at evaluation time (vertex
+// quadrics never change while the vertex is alive), so an entry is
+// valid exactly while both endpoints are alive; edges between two
+// alive vertices are never removed by a collapse.
 struct Candidate {
-  double cost;
-  VertexId u;
-  VertexId v;
-  // Min-heap by cost; ties broken by ids for determinism.
-  bool operator>(const Candidate& o) const {
-    if (cost != o.cost) return cost > o.cost;
-    if (u != o.u) return u > o.u;
-    return v > o.v;
-  }
+  double cost = 0.0;
+  VertexId u = kInvalidVertex;  // u < v always
+  VertexId v = kInvalidVertex;
+  Point3 opt;  // optimal parent placement, computed with the cost
 };
 
-using MinHeap =
-    std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>>;
+// Total order on candidates; the wave commit order.
+inline bool KeyLess(const Candidate& a, const Candidate& b) {
+  if (a.cost != b.cost) return a.cost < b.cost;
+  if (a.u != b.u) return a.u < b.u;
+  return a.v < b.v;
+}
+
+constexpr int32_t kNone = -1;
 
 }  // namespace
 
@@ -32,115 +37,109 @@ SimplifyResult SimplifyMesh(const TriangleMesh& mesh,
                             const SimplifyOptions& options) {
   AdjacencyMesh adj(mesh);
   SimplifyResult result;
+  WorkerPool pool(EffectiveThreads(options.threads));
 
-  // Per-vertex quadrics from the initial faces. Parents get the sum of
-  // their children's quadrics (the standard additive rule), so the
-  // vector grows as collapses run.
-  std::vector<Quadric> quadrics(static_cast<size_t>(adj.num_vertices_total()));
+  const int64_t n0 = adj.num_vertices_total();
+  const int64_t num_tris = mesh.num_triangles();
+
+  // --- Per-vertex quadrics -------------------------------------------
+  // Per-triangle planes are independent (parallel); the per-vertex
+  // gather sums them in ascending triangle order, which performs the
+  // exact floating-point addition sequence of the sequential loop, so
+  // the result is bit-identical at any thread count.
+  std::vector<Quadric> tri_q(static_cast<size_t>(num_tris));
+  ParallelFor(pool, num_tris, 1024, [&](int64_t begin, int64_t end) {
+    for (int64_t t = begin; t < end; ++t) {
+      const Triangle& tri = mesh.triangles()[static_cast<size_t>(t)];
+      tri_q[static_cast<size_t>(t)].AddTrianglePlane(
+          mesh.vertex(tri[0]), mesh.vertex(tri[1]), mesh.vertex(tri[2]));
+    }
+  });
+  std::vector<int32_t> vt_off(static_cast<size_t>(n0) + 1, 0);
   for (const Triangle& t : mesh.triangles()) {
-    Quadric q;
-    q.AddTrianglePlane(mesh.vertex(t[0]), mesh.vertex(t[1]),
-                       mesh.vertex(t[2]));
-    for (int i = 0; i < 3; ++i) quadrics[static_cast<size_t>(t[i])] += q;
+    for (int i = 0; i < 3; ++i) ++vt_off[static_cast<size_t>(t[i]) + 1];
   }
+  for (int64_t v = 0; v < n0; ++v) {
+    vt_off[static_cast<size_t>(v) + 1] += vt_off[static_cast<size_t>(v)];
+  }
+  std::vector<int32_t> vt(static_cast<size_t>(vt_off[static_cast<size_t>(n0)]));
+  {
+    std::vector<int32_t> cursor(vt_off.begin(), vt_off.end() - 1);
+    for (int64_t t = 0; t < num_tris; ++t) {
+      const Triangle& tri = mesh.triangles()[static_cast<size_t>(t)];
+      for (int i = 0; i < 3; ++i) {
+        vt[static_cast<size_t>(cursor[static_cast<size_t>(tri[i])]++)] =
+            static_cast<int32_t>(t);
+      }
+    }
+  }
+  std::vector<Quadric> quadrics(static_cast<size_t>(n0));
+  quadrics.reserve(static_cast<size_t>(2 * n0));
+  ParallelFor(pool, n0, 512, [&](int64_t begin, int64_t end) {
+    for (int64_t v = begin; v < end; ++v) {
+      Quadric q;
+      for (int32_t i = vt_off[static_cast<size_t>(v)];
+           i < vt_off[static_cast<size_t>(v) + 1]; ++i) {
+        q += tri_q[static_cast<size_t>(vt[static_cast<size_t>(i)])];
+      }
+      quadrics[static_cast<size_t>(v)] = q;
+    }
+  });
+  tri_q.clear();
+  tri_q.shrink_to_fit();
 
-  MinHeap heap;
-  auto push_edge = [&](VertexId u, VertexId v) {
+  // --- Candidate pool ------------------------------------------------
+  // `cands` grows append-only (ids are stable); `vcand[v]` holds the
+  // ids of candidates incident to v and is purged of dead entries as
+  // it is scanned. `fresh` lists ids awaiting cost evaluation.
+  std::vector<Candidate> cands;
+  std::vector<std::vector<int32_t>> vcand(static_cast<size_t>(n0));
+  std::vector<int32_t> best(static_cast<size_t>(n0), kNone);
+  std::vector<int32_t> fresh;
+  vcand.reserve(static_cast<size_t>(2 * n0));
+  best.reserve(static_cast<size_t>(2 * n0));
+
+  auto add_candidate = [&](VertexId u, VertexId v) {
     if (u > v) std::swap(u, v);
-    const Quadric q =
-        quadrics[static_cast<size_t>(u)] + quadrics[static_cast<size_t>(v)];
-    const Point3 opt = q.OptimalPoint(adj.position(u), adj.position(v));
-    heap.push(Candidate{q.Evaluate(opt), u, v});
+    const int32_t id = static_cast<int32_t>(cands.size());
+    Candidate c;
+    c.u = u;
+    c.v = v;
+    cands.push_back(c);
+    vcand[static_cast<size_t>(u)].push_back(id);
+    vcand[static_cast<size_t>(v)].push_back(id);
+    fresh.push_back(id);
   };
 
-  for (VertexId u = 0; u < adj.num_vertices_total(); ++u) {
+  for (VertexId u = 0; u < n0; ++u) {
     for (VertexId v : adj.neighbors(u)) {
-      if (v > u) push_edge(u, v);
+      if (v > u) add_candidate(u, v);
     }
   }
 
-  // Edge costs never change while both endpoints are alive (quadrics
-  // are fixed at vertex creation), so heap entries need no versioning:
-  // an entry is valid iff both endpoints are alive and the edge still
-  // exists. Entries blocked by the link condition are re-pushed with a
-  // small cost inflation so topology changes can unblock them; if the
-  // whole frontier is blocked we relax the condition rather than stop
-  // early (counted in forced_collapses).
-  int64_t consecutive_blocked = 0;
-  while (adj.num_alive() > options.target_vertices) {
-    if (heap.empty()) {
-      // Refill from scratch (can only happen if every remaining entry
-      // was consumed as stale); rebuild candidates from live edges.
-      bool any = false;
-      for (VertexId u : adj.AliveVertices()) {
-        for (VertexId v : adj.neighbors(u)) {
-          if (v > u) {
-            push_edge(u, v);
-            any = true;
-          }
-        }
-      }
-      if (!any) break;  // disconnected leftovers; nothing to collapse
-      continue;
-    }
-    Candidate cand = heap.top();
-    heap.pop();
-    if (!adj.IsAlive(cand.u) || !adj.IsAlive(cand.v) ||
-        !adj.HasEdge(cand.u, cand.v)) {
-      continue;  // stale
-    }
-    const bool can = adj.CanCollapse(cand.u, cand.v);
-    bool forced = false;
-    if (!can) {
-      ++consecutive_blocked;
-      if (consecutive_blocked <= static_cast<int64_t>(heap.size()) + 1) {
-        cand.cost = cand.cost * 1.05 + 1e-12;
-        heap.push(cand);
-        continue;
-      }
-      // Entire frontier blocked: relax the link condition.
-      forced = true;
-    }
-    consecutive_blocked = 0;
+  std::vector<VertexId> alive;
+  alive.reserve(static_cast<size_t>(n0));
+  for (VertexId v = 0; v < n0; ++v) {
+    if (adj.IsAlive(v)) alive.push_back(v);
+  }
 
-    CollapseRecord rec;
-    if (forced) {
-      // The whole frontier is blocked by the link condition (possible
-      // only in pathological topologies). Scan for the cheapest legal
-      // edge anywhere in the mesh to guarantee progress.
-      bool done = false;
-      double best_cost = 0.0;
-      VertexId best_u = kInvalidVertex;
-      VertexId best_v = kInvalidVertex;
-      for (VertexId u2 : adj.AliveVertices()) {
-        for (VertexId v2 : adj.neighbors(u2)) {
-          if (v2 <= u2 || !adj.CanCollapse(u2, v2)) continue;
-          const Quadric q2 = quadrics[static_cast<size_t>(u2)] +
-                             quadrics[static_cast<size_t>(v2)];
-          const Point3 p2 =
-              q2.OptimalPoint(adj.position(u2), adj.position(v2));
-          const double c2 = q2.Evaluate(p2);
-          if (!done || c2 < best_cost) {
-            done = true;
-            best_cost = c2;
-            best_u = u2;
-            best_v = v2;
-          }
-        }
-      }
-      if (!done) break;  // truly stuck; return partial result
-      ++result.forced_collapses;
-      cand.u = best_u;
-      cand.v = best_v;
-    }
+  auto evaluate = [&](Candidate& c) {
+    const Quadric q = quadrics[static_cast<size_t>(c.u)] +
+                      quadrics[static_cast<size_t>(c.v)];
+    c.opt = q.OptimalPoint(adj.position(c.u), adj.position(c.v));
+    c.cost = q.Evaluate(c.opt);
+  };
 
-    const Quadric qc = quadrics[static_cast<size_t>(cand.u)] +
-                       quadrics[static_cast<size_t>(cand.v)];
-    const Point3 cu = adj.position(cand.u);
-    const Point3 cv = adj.position(cand.v);
-    const Point3 ppos = qc.OptimalPoint(cu, cv);
-    rec = adj.Collapse(cand.u, cand.v, ppos);
-    quadrics.push_back(qc);  // parent's quadric, id == rec.parent
+  auto commit = [&](const Candidate& c) {
+    const Quadric qc = quadrics[static_cast<size_t>(c.u)] +
+                       quadrics[static_cast<size_t>(c.v)];
+    const Point3 cu = adj.position(c.u);
+    const Point3 cv = adj.position(c.v);
+    const Point3 ppos = c.opt;
+    const CollapseRecord rec = adj.Collapse(c.u, c.v, ppos);
+    quadrics.push_back(qc);
+    vcand.emplace_back();
+    best.push_back(kNone);
     DM_DCHECK(rec.parent + 1 == static_cast<VertexId>(quadrics.size()))
         << "collapse parent id " << rec.parent
         << " out of step with the quadric vector";
@@ -158,8 +157,126 @@ SimplifyResult SimplifyMesh(const TriangleMesh& mesh,
                             std::fabs(cv.z - ppos.z));
     }
     result.steps.push_back(step);
+    for (VertexId nb : adj.neighbors(rec.parent)) {
+      add_candidate(nb, rec.parent);
+    }
+  };
 
-    for (VertexId n : adj.neighbors(rec.parent)) push_edge(rec.parent, n);
+  // --- Wave loop ------------------------------------------------------
+  // Every phase is either embarrassingly parallel over disjoint state
+  // (evaluation, per-vertex minima) or serial over a deterministically
+  // ordered set (selection scan, commits), so the collapse sequence —
+  // including parent-id assignment — is identical at any thread count.
+  std::vector<int32_t> selected;
+  int64_t blocked_waves = 0;
+  constexpr int64_t kMaxBlockedWaves = 32;
+  while (adj.num_alive() > options.target_vertices) {
+    const size_t steps_before = result.steps.size();
+    // Phase 1: evaluate newly created candidates (disjoint writes).
+    ParallelFor(pool, static_cast<int64_t>(fresh.size()), 256,
+                [&](int64_t begin, int64_t end) {
+                  for (int64_t i = begin; i < end; ++i) {
+                    evaluate(cands[static_cast<size_t>(
+                        fresh[static_cast<size_t>(i)])]);
+                  }
+                });
+    fresh.clear();
+
+    // Phase 2: per-vertex minimum candidate. Each vertex owns its
+    // incident list (purged of dead entries in place); min over a set
+    // under a total order is order-independent.
+    ParallelFor(pool, static_cast<int64_t>(alive.size()), 256,
+                [&](int64_t begin, int64_t end) {
+                  for (int64_t i = begin; i < end; ++i) {
+                    const VertexId v = alive[static_cast<size_t>(i)];
+                    std::vector<int32_t>& list =
+                        vcand[static_cast<size_t>(v)];
+                    int32_t best_id = kNone;
+                    size_t w = 0;
+                    for (size_t r = 0; r < list.size(); ++r) {
+                      const int32_t id = list[r];
+                      const Candidate& c = cands[static_cast<size_t>(id)];
+                      if (!adj.IsAlive(c.u) || !adj.IsAlive(c.v)) continue;
+                      list[w++] = id;
+                      if (best_id == kNone ||
+                          KeyLess(c, cands[static_cast<size_t>(best_id)])) {
+                        best_id = id;
+                      }
+                    }
+                    list.resize(w);
+                    best[static_cast<size_t>(v)] = best_id;
+                  }
+                });
+
+    // Phase 3: a candidate is selected iff it is the minimum at *both*
+    // endpoints; selected edges therefore never share a vertex.
+    selected.clear();
+    for (VertexId v : alive) {
+      const int32_t id = best[static_cast<size_t>(v)];
+      if (id == kNone) continue;
+      const Candidate& c = cands[static_cast<size_t>(id)];
+      if (c.u == v && best[static_cast<size_t>(c.v)] == id) {
+        selected.push_back(id);
+      }
+    }
+    if (selected.empty()) break;  // no live candidates: disconnected leftovers
+    std::sort(selected.begin(), selected.end(), [&](int32_t a, int32_t b) {
+      return KeyLess(cands[static_cast<size_t>(a)],
+                     cands[static_cast<size_t>(b)]);
+    });
+
+    // Phase 4: commit in ascending key order. Blocked edges get their
+    // cost inflated so topology changes can unblock them later.
+    int64_t committed = 0;
+    for (const int32_t id : selected) {
+      if (adj.num_alive() <= options.target_vertices) break;
+      Candidate& c = cands[static_cast<size_t>(id)];
+      if (!adj.CanCollapse(c.u, c.v)) {
+        c.cost = c.cost * 1.05 + 1e-12;
+        continue;
+      }
+      commit(c);
+      ++committed;
+    }
+
+    if (committed > 0) {
+      blocked_waves = 0;
+    } else if (++blocked_waves >= kMaxBlockedWaves) {
+      // The frontier has been fully link-condition-blocked for many
+      // waves (possible only in pathological topologies). Scan for the
+      // cheapest legal edge anywhere to guarantee progress.
+      blocked_waves = 0;
+      bool found = false;
+      Candidate forced;
+      for (VertexId u : adj.AliveVertices()) {
+        for (VertexId v : adj.neighbors(u)) {
+          if (v <= u || !adj.CanCollapse(u, v)) continue;
+          Candidate c;
+          c.u = u;
+          c.v = v;
+          evaluate(c);
+          if (!found || KeyLess(c, forced)) {
+            found = true;
+            forced = c;
+          }
+        }
+      }
+      if (!found) break;  // truly stuck; return partial result
+      ++result.forced_collapses;
+      commit(forced);
+    }
+
+    // Compact the alive list: survivors keep their relative order,
+    // parents created this wave append in id (commit) order.
+    size_t w = 0;
+    for (size_t r = 0; r < alive.size(); ++r) {
+      if (adj.IsAlive(alive[r])) alive[w++] = alive[r];
+    }
+    alive.resize(w);
+    for (size_t p = steps_before; p < result.steps.size(); ++p) {
+      const VertexId parent = result.steps[p].record.parent;
+      if (adj.IsAlive(parent)) alive.push_back(parent);
+    }
   }
 
   result.roots = adj.AliveVertices();

@@ -47,13 +47,21 @@ struct SimplifyOptions {
   ErrorMetric metric = ErrorMetric::kQuadric;
   /// Stop when this many vertices remain (1 = full PM tree).
   int64_t target_vertices = 1;
+  /// Worker threads for quadric accumulation, candidate evaluation and
+  /// wave selection (<= 0 means one per hardware core). The collapse
+  /// sequence is bit-identical at any thread count.
+  int threads = 1;
 };
 
 /// Runs greedy QEM edge-collapse simplification over the whole mesh,
 /// recording the PM collapse sequence. This is the paper's
-/// "constructing an MTM (PM) tree is a bottom-up process": each step
-/// picks the connected pair whose contraction has minimum error and
-/// replaces it by a newly created parent vertex.
+/// "constructing an MTM (PM) tree is a bottom-up process": collapses
+/// are committed in waves — every wave selects the edges that are the
+/// unique (cost, u, v)-minimum among all candidates sharing either
+/// endpoint, then commits them in ascending key order. Selected edges
+/// never share a vertex, so a wave equals a prefix-batch of local
+/// greedy choices; evaluation and selection parallelize while the
+/// commit order (and thus every parent id) stays deterministic.
 SimplifyResult SimplifyMesh(const TriangleMesh& mesh,
                             const SimplifyOptions& options = {});
 

@@ -95,6 +95,49 @@ Result<RecordId> HeapFile::Append(const uint8_t* data, uint32_t size) {
   return RecordId{page.id(), slot_count};
 }
 
+Status HeapFile::AppendMany(const std::vector<std::vector<uint8_t>>& records,
+                            std::vector<RecordId>* rids) {
+  if (records.empty()) return Status::OK();
+  const uint32_t page_size = env_->page_size();
+  DM_ASSIGN_OR_RETURN(PageGuard page, env_->pool().Fetch(tail_page_));
+  uint16_t slot_count = LoadU16(page.data() + kSlotCountOff);
+  uint16_t free_off = LoadU16(page.data() + kFreeOffOff);
+  for (const std::vector<uint8_t>& rec : records) {
+    const auto size = static_cast<uint32_t>(rec.size());
+    if (size > MaxRecordSize()) {
+      return Status::InvalidArgument("record of " + std::to_string(size) +
+                                     " bytes exceeds page capacity");
+    }
+    const uint32_t dir_top = page_size - (slot_count + 1u) * kSlotSize;
+    if (free_off + size > dir_top) {
+      DM_ASSIGN_OR_RETURN(PageGuard fresh, env_->pool().NewPage());
+      StoreU32(fresh.data() + kNextPageOff, kInvalidPage);
+      StoreU16(fresh.data() + kSlotCountOff, 0);
+      StoreU16(fresh.data() + kFreeOffOff, kHeaderSize);
+      fresh.MarkDirty();
+      StoreU32(page.data() + kNextPageOff, fresh.id());
+      page.MarkDirty();
+      tail_page_ = fresh.id();
+      ++num_pages_;
+      page = std::move(fresh);
+      slot_count = 0;
+      free_off = kHeaderSize;
+    }
+    std::memcpy(page.data() + free_off, rec.data(), size);
+    uint8_t* slot = page.data() + page_size - (slot_count + 1u) * kSlotSize;
+    StoreU16(slot, free_off);
+    StoreU16(slot + 2, static_cast<uint16_t>(size));
+    ++num_records_;
+    if (rids != nullptr) rids->push_back(RecordId{page.id(), slot_count});
+    ++slot_count;
+    free_off = static_cast<uint16_t>(free_off + size);
+    StoreU16(page.data() + kSlotCountOff, slot_count);
+    StoreU16(page.data() + kFreeOffOff, free_off);
+    page.MarkDirty();
+  }
+  return Status::OK();
+}
+
 namespace {
 
 /// Locates record `slot` inside a pinned page, validating the slot

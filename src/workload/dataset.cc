@@ -17,8 +17,10 @@ namespace dm {
 namespace {
 
 // Bump whenever the on-disk layout of any store changes; cached builds
-// with a different version are rebuilt.
-constexpr int64_t kFormatVersion = 3;
+// with a different version are rebuilt. v4: wave-based simplification
+// changed the collapse sequence (and thus every store) relative to the
+// strict-greedy v3 builds.
+constexpr int64_t kFormatVersion = 4;
 
 int SideFromEnv(const char* var, int fallback) {
   const char* v = std::getenv(var);
@@ -143,7 +145,8 @@ void DropDatasetCache(const std::string& dir, const DatasetSpec& spec) {
 
 Result<BuiltDataset> BuildOrLoadDataset(const std::string& dir,
                                         const DatasetSpec& spec,
-                                        const DbOptions& options) {
+                                        const DbOptions& options,
+                                        int build_threads) {
   BuiltDataset ds;
   ds.spec = spec;
 
@@ -243,7 +246,9 @@ Result<BuiltDataset> BuildOrLoadDataset(const std::string& dir,
     dem = GenerateFractalDem(fp);
   }
   const TriangleMesh base = TriangulateDem(dem);
-  const SimplifyResult sr = SimplifyMesh(base);
+  SimplifyOptions simplify_options;
+  simplify_options.threads = build_threads;
+  const SimplifyResult sr = SimplifyMesh(base, simplify_options);
   DM_ASSIGN_OR_RETURN(const PmTree tree, PmTree::Build(base, sr));
 
   DM_ASSIGN_OR_RETURN(ds.dm_env,
@@ -252,7 +257,14 @@ Result<BuiltDataset> BuildOrLoadDataset(const std::string& dir,
                       DbEnv::Open(DbPath(dir, spec, "pm"), options));
   DM_ASSIGN_OR_RETURN(ds.hdov_env,
                       DbEnv::Open(DbPath(dir, spec, "hdov"), options));
-  DM_ASSIGN_OR_RETURN(ds.dm, DmStore::Build(ds.dm_env.get(), base, tree, sr));
+  // The connection lists feed both the DM store and the connectivity
+  // stats below; build them once.
+  const auto conn = BuildConnectionLists(base, tree, sr, build_threads);
+  DmStoreOptions dm_options;
+  dm_options.threads = build_threads;
+  dm_options.connections = &conn;
+  DM_ASSIGN_OR_RETURN(
+      ds.dm, DmStore::Build(ds.dm_env.get(), base, tree, sr, dm_options));
   DM_ASSIGN_OR_RETURN(ds.pm, PmDbStore::Build(ds.pm_env.get(), tree));
   DM_ASSIGN_OR_RETURN(ds.hdov, HdovTree::Build(ds.hdov_env.get(), base,
                                                tree));
@@ -285,10 +297,8 @@ Result<BuiltDataset> BuildOrLoadDataset(const std::string& dir,
       ds.lod_quantiles.emplace_back(f, e);
     }
   }
-  {
-    const auto conn = BuildConnectionLists(base, tree, sr);
-    ds.conn_stats = ComputeConnectivityStats(base, tree, conn);
-  }
+  ds.conn_stats =
+      ComputeConnectivityStats(base, tree, conn, /*sample=*/512, build_threads);
 
   // Persist the catalog.
   MetaFile mf;

@@ -71,10 +71,13 @@ struct BuiltDataset {
 /// Builds the dataset under `dir` (creating DEM -> mesh -> QEM -> PM
 /// -> the three databases), or reopens it when a matching build is
 /// already cached there. Deterministic: same spec => same files and
-/// the same disk-access counts.
+/// the same disk-access counts, at any `build_threads` (<= 0 means one
+/// per hardware core) — the parallel build stages are bit-reproducible
+/// by construction.
 Result<BuiltDataset> BuildOrLoadDataset(const std::string& dir,
                                         const DatasetSpec& spec,
-                                        const DbOptions& options = {});
+                                        const DbOptions& options = {},
+                                        int build_threads = 1);
 
 /// Deletes a cached build (used by ablations that vary page size).
 void DropDatasetCache(const std::string& dir, const DatasetSpec& spec);

@@ -1,0 +1,177 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <numeric>
+#include <random>
+#include <utility>
+#include <vector>
+
+namespace dm {
+namespace {
+
+TEST(EffectiveThreadsTest, PositivePassesThrough) {
+  EXPECT_EQ(EffectiveThreads(1), 1);
+  EXPECT_EQ(EffectiveThreads(7), 7);
+}
+
+TEST(EffectiveThreadsTest, NonPositiveMeansHardware) {
+  EXPECT_GE(EffectiveThreads(0), 1);
+  EXPECT_GE(EffectiveThreads(-3), 1);
+}
+
+TEST(WorkerPoolTest, RunOnAllVisitsEveryIndexOnce) {
+  for (int threads : {1, 2, 4}) {
+    WorkerPool pool(threads);
+    std::vector<std::atomic<int>> hits(static_cast<size_t>(threads));
+    for (auto& h : hits) h.store(0);
+    pool.RunOnAll([&](int worker) {
+      ASSERT_GE(worker, 0);
+      ASSERT_LT(worker, threads);
+      hits[static_cast<size_t>(worker)].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(WorkerPoolTest, ReusableAcrossManyJobs) {
+  WorkerPool pool(3);
+  std::atomic<int> total{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.RunOnAll([&](int) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 50 * 3);
+}
+
+TEST(ParallelForTest, EmptyRangeNeverCallsBody) {
+  WorkerPool pool(4);
+  bool called = false;
+  ParallelFor(pool, 0, 16, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SingleElement) {
+  WorkerPool pool(4);
+  std::vector<int> marks(1, 0);
+  ParallelFor(pool, 1, 16, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) marks[static_cast<size_t>(i)]++;
+  });
+  EXPECT_EQ(marks[0], 1);
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  for (int threads : {1, 2, 4}) {
+    for (int64_t n : {1, 5, 64, 1000, 1037}) {
+      WorkerPool pool(threads);
+      std::vector<std::atomic<int>> marks(static_cast<size_t>(n));
+      for (auto& m : marks) m.store(0);
+      ParallelFor(pool, n, 64, [&](int64_t begin, int64_t end) {
+        ASSERT_LE(0, begin);
+        ASSERT_LE(begin, end);
+        ASSERT_LE(end, n);
+        for (int64_t i = begin; i < end; ++i) {
+          marks[static_cast<size_t>(i)].fetch_add(1);
+        }
+      });
+      for (int64_t i = 0; i < n; ++i) {
+        EXPECT_EQ(marks[static_cast<size_t>(i)].load(), 1)
+            << "threads=" << threads << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, ChunkBoundariesIndependentOfThreadCount) {
+  // The chunk decomposition itself (not just its union) must not
+  // depend on the thread count, so per-chunk state such as arenas or
+  // partial buffers stays deterministic.
+  auto chunk_set = [](int threads) {
+    WorkerPool pool(threads);
+    std::vector<std::pair<int64_t, int64_t>> chunks;
+    std::mutex mu;
+    ParallelFor(pool, 1000, 64, [&](int64_t begin, int64_t end) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace_back(begin, end);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  const auto one = chunk_set(1);
+  EXPECT_EQ(one, chunk_set(2));
+  EXPECT_EQ(one, chunk_set(4));
+  for (const auto& [begin, end] : one) {
+    EXPECT_EQ(begin % 64, 0);
+  }
+}
+
+TEST(ParallelStableSortTest, EmptyAndSingle) {
+  WorkerPool pool(4);
+  std::vector<int> empty;
+  ParallelStableSort(pool, empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  ParallelStableSort(pool, one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(ParallelStableSortTest, MatchesStdStableSortLargeInput) {
+  // Large enough to take the parallel path (kMinParallel = 8192).
+  std::mt19937_64 rng(7);
+  std::vector<uint32_t> input(50000);
+  for (auto& x : input) x = static_cast<uint32_t>(rng() % 1000);
+  std::vector<uint32_t> expected = input;
+  std::stable_sort(expected.begin(), expected.end());
+  for (int threads : {1, 2, 3, 4, 8}) {
+    WorkerPool pool(threads);
+    std::vector<uint32_t> v = input;
+    ParallelStableSort(pool, v);
+    EXPECT_EQ(v, expected) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelStableSortTest, StableOnTies) {
+  // Sort (key, original_index) pairs by key only: stability requires
+  // equal keys to keep ascending original indices, at any thread
+  // count, including inputs big enough to hit the merge passes.
+  std::mt19937_64 rng(13);
+  std::vector<std::pair<int, int>> input(30000);
+  for (int i = 0; i < static_cast<int>(input.size()); ++i) {
+    input[static_cast<size_t>(i)] = {static_cast<int>(rng() % 8), i};
+  }
+  for (int threads : {1, 2, 4, 8}) {
+    WorkerPool pool(threads);
+    auto v = input;
+    ParallelStableSort(pool, v, [](const auto& a, const auto& b) {
+      return a.first < b.first;  // deliberately ignores .second
+    });
+    for (size_t i = 1; i < v.size(); ++i) {
+      ASSERT_LE(v[i - 1].first, v[i].first);
+      if (v[i - 1].first == v[i].first) {
+        ASSERT_LT(v[i - 1].second, v[i].second)
+            << "stability violated at " << i << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelStableSortTest, BitIdenticalAcrossThreadCounts) {
+  std::mt19937_64 rng(99);
+  std::vector<uint64_t> input(20000);
+  for (auto& x : input) x = rng() % 64;
+  WorkerPool pool1(1);
+  std::vector<uint64_t> ref = input;
+  ParallelStableSort(pool1, ref);
+  for (int threads : {2, 4, 8}) {
+    WorkerPool pool(threads);
+    std::vector<uint64_t> v = input;
+    ParallelStableSort(pool, v);
+    EXPECT_EQ(v, ref) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace dm

@@ -1,19 +1,31 @@
 #!/usr/bin/env python3
-"""Compare a fresh bench_throughput run against a committed baseline.
+"""Compare a fresh bench run against a committed baseline.
 
 Usage:
   check_bench_regression.py --baseline bench/baselines/BENCH_throughput_tiny.json \
       --current BENCH_smoke.json [--max-qps-drop-pct 30]
+  check_bench_regression.py --baseline bench/baselines/BENCH_build_tiny.json \
+      --current BENCH_build_smoke.json [--max-slowdown-pct 75]
 
-Fails (exit 1) if:
-  * any `threads_N/qps` metric dropped more than --max-qps-drop-pct
-    relative to the baseline, or
-  * any `threads_N/failed` metric in the current run is non-zero.
+The baseline's `bench` field selects the rule set:
 
-qps *improvements* never fail, and thread counts present in only one
-of the two files are reported but ignored — the gate is meant to catch
-"someone made the hot path 2x slower", not to pin exact numbers on
-noisy shared CI runners. Keep --max-qps-drop-pct generous.
+bench_throughput:
+  * fails if any `threads_N/qps` dropped more than --max-qps-drop-pct
+    relative to the baseline;
+  * fails if any `threads_N/failed` metric in the current run is
+    non-zero.
+
+bench_build:
+  * fails if any `threads_N/total_millis` rose more than
+    --max-slowdown-pct relative to the baseline;
+  * fails if the current run's `determinism_ok` is not 1 (stores built
+    at different thread counts must be byte-identical — this is a
+    correctness gate, not a performance one).
+
+Improvements never fail, and thread counts present in only one of the
+two files are reported but ignored — the gate is meant to catch
+"someone made the pipeline 2x slower", not to pin exact numbers on
+noisy shared CI runners. Keep the thresholds generous.
 """
 
 import argparse
@@ -21,12 +33,46 @@ import json
 import sys
 
 
-def load_metrics(path):
+def load_doc(path, expect_bench=None):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("bench") != "bench_throughput":
-        sys.exit(f"{path}: not a bench_throughput result ({doc.get('bench')!r})")
-    return doc["metrics"]
+    bench = doc.get("bench")
+    if bench not in ("bench_throughput", "bench_build"):
+        sys.exit(f"{path}: unsupported bench kind ({bench!r})")
+    if expect_bench is not None and bench != expect_bench:
+        sys.exit(f"{path}: bench kind {bench!r}, expected {expect_bench!r}")
+    return bench, doc["metrics"]
+
+
+def compare_series(base, cur, suffix, max_worse_pct, higher_is_better,
+                   failures):
+    """Compares every `threads_N/<suffix>` metric; returns the count."""
+    compared = 0
+    for key, base_val in sorted(base.items()):
+        if not key.endswith("/" + suffix):
+            continue
+        if key not in cur:
+            print(f"note: {key} missing from current run, skipping")
+            continue
+        cur_val = cur[key]
+        if base_val > 0:
+            if higher_is_better:
+                worse_pct = 100.0 * (base_val - cur_val) / base_val
+            else:
+                worse_pct = 100.0 * (cur_val - base_val) / base_val
+        else:
+            worse_pct = 0.0
+        status = "ok"
+        if worse_pct > max_worse_pct:
+            status = "REGRESSION"
+            failures.append(
+                f"{key}: {base_val:.1f} -> {cur_val:.1f} "
+                f"({worse_pct:.1f}% worse > {max_worse_pct:.0f}% allowed)"
+            )
+        print(f"{key}: baseline {base_val:.1f} current {cur_val:.1f} "
+              f"({worse_pct:+.1f}% worse) {status}")
+        compared += 1
+    return compared
 
 
 def main():
@@ -34,45 +80,39 @@ def main():
     ap.add_argument("--baseline", required=True)
     ap.add_argument("--current", required=True)
     ap.add_argument("--max-qps-drop-pct", type=float, default=30.0)
+    ap.add_argument("--max-slowdown-pct", type=float, default=75.0)
     args = ap.parse_args()
 
-    base = load_metrics(args.baseline)
-    cur = load_metrics(args.current)
+    bench, base = load_doc(args.baseline)
+    _, cur = load_doc(args.current, expect_bench=bench)
 
     failures = []
-    compared = 0
-    for key, base_qps in sorted(base.items()):
-        if not key.endswith("/qps"):
-            continue
-        if key not in cur:
-            print(f"note: {key} missing from current run, skipping")
-            continue
-        cur_qps = cur[key]
-        drop_pct = 100.0 * (base_qps - cur_qps) / base_qps if base_qps > 0 else 0.0
-        status = "ok"
-        if drop_pct > args.max_qps_drop_pct:
-            status = "REGRESSION"
+    if bench == "bench_throughput":
+        compared = compare_series(base, cur, "qps", args.max_qps_drop_pct,
+                                  higher_is_better=True, failures=failures)
+        for key, value in sorted(cur.items()):
+            if key.endswith("/failed") and value != 0:
+                failures.append(f"{key}: {int(value)} queries failed")
+        if compared == 0:
+            failures.append("no overlapping threads_N/qps metrics to compare")
+    else:  # bench_build
+        compared = compare_series(base, cur, "total_millis",
+                                  args.max_slowdown_pct,
+                                  higher_is_better=False, failures=failures)
+        if cur.get("determinism_ok") != 1:
             failures.append(
-                f"{key}: {base_qps:.1f} -> {cur_qps:.1f} qps "
-                f"({drop_pct:.1f}% drop > {args.max_qps_drop_pct:.0f}% allowed)"
-            )
-        print(f"{key}: baseline {base_qps:.1f} current {cur_qps:.1f} "
-              f"({-drop_pct:+.1f}%) {status}")
-        compared += 1
-
-    for key, value in sorted(cur.items()):
-        if key.endswith("/failed") and value != 0:
-            failures.append(f"{key}: {int(value)} queries failed")
-
-    if compared == 0:
-        failures.append("no overlapping threads_N/qps metrics to compare")
+                f"determinism_ok = {cur.get('determinism_ok')!r} "
+                "(stores differ across thread counts)")
+        if compared == 0:
+            failures.append(
+                "no overlapping threads_N/total_millis metrics to compare")
 
     if failures:
         print("\nbench regression check FAILED:", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print(f"\nbench regression check passed ({compared} qps metrics compared)")
+    print(f"\nbench regression check passed ({compared} metrics compared)")
     return 0
 
 

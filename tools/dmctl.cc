@@ -1,7 +1,7 @@
 // dmctl — command-line front end for Direct Mesh terrain databases.
 //
 //   dmctl build --out <base> [--dem file.asc | --synthetic fractal|crater]
-//               [--side N] [--seed S] [--compress]
+//               [--side N] [--seed S] [--compress] [--threads T]
 //   dmctl info  --db <base>
 //   dmctl verify --db <base> [--max-violations N]
 //   dmctl query --db <base> --roi x0,y0,x1,y1 (--lod E | --keep FRAC)
@@ -13,6 +13,7 @@
 // (catalog). ROI coordinates are in DEM grid units; `--keep` picks the
 // LOD whose uniform cut retains that fraction of the points.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "dem/crater.h"
 #include "dem/dem_io.h"
 #include "dem/fractal.h"
@@ -84,7 +86,7 @@ int Usage() {
       stderr,
       "usage:\n"
       "  dmctl build --out BASE [--dem FILE.asc | --synthetic "
-      "fractal|crater] [--side N] [--seed S] [--compress]\n"
+      "fractal|crater] [--side N] [--seed S] [--compress] [--threads T]\n"
       "  dmctl info  --db BASE\n"
       "  dmctl verify --db BASE [--max-violations N]\n"
       "  dmctl query --db BASE --roi x0,y0,x1,y1 (--lod E | --keep F) "
@@ -103,7 +105,8 @@ int Usage() {
 // ---- tiny meta file ------------------------------------------------
 
 Status SaveMeta(const std::string& path, const DmMeta& meta,
-                const std::vector<std::pair<double, double>>& quantiles) {
+                const std::vector<std::pair<double, double>>& quantiles,
+                const std::vector<std::pair<std::string, double>>& stages) {
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot write " + path);
   out.precision(17);
@@ -120,12 +123,18 @@ Status SaveMeta(const std::string& path, const DmMeta& meta,
   for (const auto& [f, e] : quantiles) {
     out << "quantile=" << f << "," << e << "\n";
   }
+  for (const auto& [name, millis] : stages) {
+    out << "stage=" << name << "," << millis << "\n";
+  }
   return Status::OK();
 }
 
 struct LoadedMeta {
   DmMeta meta;
   std::vector<std::pair<double, double>> quantiles;
+  /// Per-stage build timings (name, wall millis) as recorded by the
+  /// `dmctl build` that wrote the meta file; empty for older files.
+  std::vector<std::pair<std::string, double>> stages;
 };
 
 Result<LoadedMeta> LoadMeta(const std::string& path) {
@@ -163,6 +172,14 @@ Result<LoadedMeta> LoadMeta(const std::string& path) {
       ss >> f >> c >> e;
       lm.quantiles.emplace_back(f, e);
     }
+    if (key == "stage") {
+      const auto comma = value.find(',');
+      if (comma != std::string::npos) {
+        lm.stages.emplace_back(
+            value.substr(0, comma),
+            std::strtod(value.c_str() + comma + 1, nullptr));
+      }
+    }
   }
   return lm;
 }
@@ -198,6 +215,23 @@ Status ExportResult(const Args& args, const DmQueryResult& r) {
 Status RunBuild(const Args& args) {
   const std::string base = args.Get("out");
   if (base.empty()) return Status::InvalidArgument("--out required");
+  const int threads =
+      EffectiveThreads(static_cast<int>(args.GetInt("threads", 1)));
+
+  // Per-stage wall-clock bookkeeping: every finished stage prints one
+  // progress line immediately (long builds aren't silent) and lands in
+  // the meta file so `dmctl info` can show the breakdown later.
+  std::vector<std::pair<std::string, double>> stages;
+  auto clock = std::chrono::steady_clock::now();
+  auto stage_done = [&](const char* name) {
+    const double millis = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - clock)
+                              .count();
+    stages.emplace_back(name, millis);
+    std::printf("[build] %-17s %9.1f ms\n", name, millis);
+    std::fflush(stdout);
+    clock = std::chrono::steady_clock::now();
+  };
 
   DemGrid dem;
   if (args.Has("dem")) {
@@ -213,19 +247,40 @@ Status RunBuild(const Args& args) {
     p.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
     dem = GenerateFractalDem(p);
   }
-  std::printf("terrain: %d x %d samples\n", dem.width(), dem.height());
+  std::printf("terrain: %d x %d samples, %d thread%s\n", dem.width(),
+              dem.height(), threads, threads == 1 ? "" : "s");
+  stage_done("dem");
 
   const TriangleMesh mesh = TriangulateDem(dem);
-  std::printf("simplifying %lld points...\n",
-              static_cast<long long>(mesh.num_vertices()));
-  const SimplifyResult sr = SimplifyMesh(mesh);
+  stage_done("triangulate");
+
+  SimplifyOptions simplify_options;
+  simplify_options.threads = threads;
+  const SimplifyResult sr = SimplifyMesh(mesh, simplify_options);
+  stage_done("simplify");
   DM_ASSIGN_OR_RETURN(const PmTree tree, PmTree::Build(mesh, sr));
+  stage_done("pm-tree");
 
   DM_ASSIGN_OR_RETURN(auto env, DbEnv::Open(base + ".db", {}));
   DmStoreOptions options;
   options.compress_records = args.Has("compress");
+  options.threads = threads;
+  DmBuildTimings timings;
+  options.timings = &timings;
   DM_ASSIGN_OR_RETURN(const DmStore store,
                       DmStore::Build(env.get(), mesh, tree, sr, options));
+  clock = std::chrono::steady_clock::now();  // Build timed internally
+  stages.emplace_back("connection-lists", timings.conn_millis);
+  stages.emplace_back("str-order", timings.str_millis);
+  stages.emplace_back("encode", timings.encode_millis);
+  stages.emplace_back("heap-append", timings.append_millis);
+  stages.emplace_back("rtree-pack", timings.bulkload_millis);
+  stages.emplace_back("catalog", timings.catalog_millis);
+  for (size_t i = stages.size() - 6; i < stages.size(); ++i) {
+    std::printf("[build] %-17s %9.1f ms\n", stages[i].first.c_str(),
+                stages[i].second);
+  }
+  std::fflush(stdout);
 
   // LOD quantiles for --keep.
   std::vector<double> lods;
@@ -244,11 +299,13 @@ Status RunBuild(const Args& args) {
                                        lods.size()) - 1];
     quantiles.emplace_back(f, e);
   }
-  DM_RETURN_NOT_OK(SaveMeta(base + ".meta", store.meta(), quantiles));
-  std::printf("built %s.db (%lld nodes, max LOD %.4g%s)\n", base.c_str(),
-              static_cast<long long>(store.meta().num_nodes),
+  DM_RETURN_NOT_OK(SaveMeta(base + ".meta", store.meta(), quantiles, stages));
+  double total = 0.0;
+  for (const auto& [name, millis] : stages) total += millis;
+  std::printf("built %s.db (%lld nodes, max LOD %.4g%s) in %.1f ms\n",
+              base.c_str(), static_cast<long long>(store.meta().num_nodes),
               store.meta().max_lod,
-              options.compress_records ? ", compressed" : "");
+              options.compress_records ? ", compressed" : "", total);
   return Status::OK();
 }
 
@@ -294,6 +351,14 @@ Status RunInfo(const Args& args) {
   std::printf("LOD ladder (fraction of points kept -> e):\n");
   for (const auto& [f, e] : db.lm.quantiles) {
     std::printf("  %6.1f%% -> %.6g\n", f * 100, e);
+  }
+  if (!db.lm.stages.empty()) {
+    double total = 0.0;
+    for (const auto& [name, millis] : db.lm.stages) total += millis;
+    std::printf("build stages (total %.1f ms):\n", total);
+    for (const auto& [name, millis] : db.lm.stages) {
+      std::printf("  %-17s %9.1f ms\n", name.c_str(), millis);
+    }
   }
   return Status::OK();
 }
