@@ -153,6 +153,33 @@ int Main(int argc, char** argv) {
   writer.Add("dataset_side", static_cast<double>(spec.side));
   writer.Add("read_latency_us", static_cast<double>(opts.read_latency_us));
   writer.Add("pool_pages", static_cast<double>(opts.pool_pages));
+
+  // CRC verification A/B: single-threaded pass with checksums off,
+  // then on. The pool is smaller than the working set, so misses (and
+  // thus per-fetch CRC work) keep flowing in both passes; the gate in
+  // check_bench_regression.py holds the overhead under 10%.
+  {
+    BufferPool& pool = ds.dm_env->pool();
+    pool.set_verify_checksums(false);
+    auto off_or = RunThroughput(store, workload, 1);
+    pool.set_verify_checksums(true);
+    auto on_or = RunThroughput(store, workload, 1);
+    if (!off_or.ok() || !on_or.ok()) {
+      std::fprintf(stderr, "checksum A/B failed: %s\n",
+                   (!off_or.ok() ? off_or : on_or).status()
+                       .ToString()
+                       .c_str());
+      return 1;
+    }
+    const double off_qps = off_or.value().qps;
+    const double on_qps = on_or.value().qps;
+    const double overhead_pct =
+        (off_qps > 0 && on_qps > 0) ? 100.0 * (off_qps / on_qps - 1.0) : 0.0;
+    std::printf("checksum A/B: off=%.1f qps on=%.1f qps overhead=%.2f%%\n",
+                off_qps, on_qps, overhead_pct);
+    writer.Add("checksum_overhead_pct", overhead_pct);
+  }
+
   int64_t total_failed = 0;
   for (int threads : opts.threads) {
     auto report_or = RunThroughput(store, workload, threads);

@@ -24,6 +24,10 @@ const char* CodeName(StatusCode code) {
       return "NotSupported";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -22,6 +22,13 @@ enum class StatusCode : uint8_t {
   kOutOfRange,
   kNotSupported,
   kInternal,
+  /// Transient condition (overload shed, queue-wait budget exceeded,
+  /// interrupted I/O): safe to retry after backing off.
+  kUnavailable,
+  /// A bounded resource (buffer-pool frames, queue slots) is fully
+  /// claimed. Distinct from kUnavailable so callers can size fixes
+  /// (bigger pool) apart from load fixes (fewer concurrent queries).
+  kResourceExhausted,
 };
 
 /// Result of a fallible operation: a code plus a human-readable message.
@@ -51,6 +58,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

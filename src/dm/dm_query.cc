@@ -60,6 +60,17 @@ ViewQuery ViewQuery::FromAngle(const Rect& roi, double e_min,
   return q;
 }
 
+void DmQueryProcessor::BeginQuery() {
+  health_ = QueryHealth{};
+  deadline_armed_ = options_.deadline_millis > 0.0;
+  if (deadline_armed_) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        options_.deadline_millis));
+  }
+}
+
 Status DmQueryProcessor::FetchBox(const Box& box, NodeMap* nodes,
                                   QueryStats* stats) {
   DM_CHECK(nodes != nullptr && stats != nullptr)
@@ -79,6 +90,7 @@ Status DmQueryProcessor::FetchBox(const Box& box, NodeMap* nodes,
   // path never rehashes mid-fetch.
   nodes->reserve(nodes->size() + rids.size());
   DmStore::FetchCounts counts;
+  DmStore::FetchFailures failures;
   // One-pointer capture keeps the std::function in its inline buffer
   // (no per-FetchBox heap allocation).
   struct Sink {
@@ -91,9 +103,14 @@ Status DmQueryProcessor::FetchBox(const Box& box, NodeMap* nodes,
         ++sink.stats->nodes_fetched;
         sink.nodes->FindOrEmplace(node->id, node);
       },
-      &counts));
+      &counts, options_.allow_degraded ? &failures : nullptr));
   stats->cache_hits += counts.cache_hits;
   stats->cache_misses += counts.cache_misses;
+  if (!failures.empty()) {
+    health_.degraded = true;
+    health_.records_failed += static_cast<int64_t>(failures.records.size());
+    health_.pages_failed += failures.FailedPages();
+  }
   return Status::OK();
 }
 
@@ -144,7 +161,9 @@ void DmQueryProcessor::Triangulate(const NodeMap& nodes,
 Result<DmQueryResult> DmQueryProcessor::ViewpointIndependent(const Rect& r,
                                                              double e) {
   QueryStats stats;
+  BeginQuery();
   const int64_t reads0 = store_->env()->stats().disk_reads;
+  const int64_t retries0 = store_->env()->stats().io_retries;
 
   arena_.Reset();
   NodeMap nodes(kInvalidVertex, scratch_arena());
@@ -166,6 +185,8 @@ Result<DmQueryResult> DmQueryProcessor::ViewpointIndependent(const Rect& r,
       std::chrono::duration<double, std::milli>(t1 - t0).count();
   stats.disk_accesses = store_->env()->stats().disk_reads - reads0;
   result.stats = stats;
+  result.health = health_;
+  result.health.io_retries = store_->env()->stats().io_retries - retries0;
   return result;
 }
 
@@ -182,7 +203,25 @@ DmQueryResult DmQueryProcessor::RefineAndTriangulate(
   IdVec cut(id_alloc());
   cut.reserve(start.size());
   IdVec work = std::move(start);
+  // A lossy fetch changes the missing-child rule below: a child absent
+  // from the map may be a lost record rather than an ROI-boundary
+  // node, so the parent must stay in the cut to keep the region
+  // covered (the ancestor-fallback rule, DESIGN.md §11).
+  const bool lossy = health_.records_failed > 0;
+  uint32_t deadline_check = 0;
   while (!work.empty()) {
+    if (deadline_armed_ && (++deadline_check & 63u) == 0 &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      // Out of time: everything still queued keeps its current
+      // (coarser) LOD. The cut stays a legal tiling — stopping a
+      // refinement sequence early never breaks it.
+      health_.deadline_hit = true;
+      health_.degraded = true;
+      health_.nodes_degraded += static_cast<int64_t>(work.size());
+      for (VertexId v : work) cut.push_back(v);
+      work.clear();
+      break;
+    }
     const VertexId id = work.back();
     work.pop_back();
     const NodeRef* np = nodes.find(id);
@@ -198,6 +237,16 @@ DmQueryResult DmQueryProcessor::RefineAndTriangulate(
         // Both children outside the fetched region (ROI boundary):
         // the node cannot refine further here.
         ++stats.refinement_misses;
+        if (lossy) ++health_.nodes_degraded;
+        cut.push_back(id);
+        continue;
+      }
+      if (lossy && (c1 == nullptr || c2 == nullptr)) {
+        // One child missing after a lossy fetch: it may sit on a lost
+        // page, so refining the other side would leave a hole. Keep
+        // the parent — the coarser live ancestor covers both.
+        ++stats.refinement_misses;
+        ++health_.nodes_degraded;
         cut.push_back(id);
         continue;
       }
@@ -247,12 +296,15 @@ DmQueryResult DmQueryProcessor::RefineAndTriangulate(
   stats.cpu_millis +=
       std::chrono::duration<double, std::milli>(t1 - t0).count();
   result.stats = stats;
+  result.health = health_;
   return result;
 }
 
 Result<DmQueryResult> DmQueryProcessor::SingleBase(const ViewQuery& q) {
   QueryStats stats;
+  BeginQuery();
   const int64_t reads0 = store_->env()->stats().disk_reads;
+  const int64_t retries0 = store_->env()->stats().io_retries;
 
   arena_.Reset();
   NodeMap nodes(kInvalidVertex, scratch_arena());
@@ -270,13 +322,16 @@ Result<DmQueryResult> DmQueryProcessor::SingleBase(const ViewQuery& q) {
       },
       nodes, std::move(start), std::move(stats));
   result.stats.disk_accesses = store_->env()->stats().disk_reads - reads0;
+  result.health.io_retries = store_->env()->stats().io_retries - retries0;
   return result;
 }
 
 Result<DmQueryResult> DmQueryProcessor::Perspective(
     const PerspectiveQuery& q) {
   QueryStats stats;
+  BeginQuery();
   const int64_t reads0 = store_->env()->stats().disk_reads;
+  const int64_t retries0 = store_->env()->stats().io_retries;
 
   double e_lo = 0.0;
   double e_hi = 0.0;
@@ -294,13 +349,16 @@ Result<DmQueryResult> DmQueryProcessor::Perspective(
       [&q](const Point3& p) { return q.RequiredE(p.x, p.y); }, nodes,
       std::move(start), std::move(stats));
   result.stats.disk_accesses = store_->env()->stats().disk_reads - reads0;
+  result.health.io_retries = store_->env()->stats().io_retries - retries0;
   return result;
 }
 
 Result<DmQueryResult> DmQueryProcessor::MultiBase(const ViewQuery& q,
                                                   int max_cubes) {
   QueryStats stats;
+  BeginQuery();
   const int64_t reads0 = store_->env()->stats().disk_reads;
+  const int64_t retries0 = store_->env()->stats().io_retries;
 
   const CostModelInputs inputs = store_->cost_inputs();
   const std::vector<BaseCube> cubes =
@@ -337,6 +395,7 @@ Result<DmQueryResult> DmQueryProcessor::MultiBase(const ViewQuery& q,
       },
       nodes, std::move(start), std::move(stats));
   result.stats.disk_accesses = store_->env()->stats().disk_reads - reads0;
+  result.health.io_retries = store_->env()->stats().io_retries - retries0;
   return result;
 }
 

@@ -1,6 +1,7 @@
 #ifndef DIRECTMESH_DM_DM_QUERY_H_
 #define DIRECTMESH_DM_DM_QUERY_H_
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -79,6 +80,32 @@ struct QueryStats {
   double cpu_millis = 0.0;        // mesh construction time
 };
 
+/// Failure-handling report of one query (DESIGN.md §11). A query that
+/// lost pages or tripped its deadline still returns a valid — but
+/// coarser — mesh; this says how much was given up and why.
+struct QueryHealth {
+  /// True when any record was lost or the deadline tripped; the mesh
+  /// is legal but coarser (or sparser) than a healthy run's.
+  bool degraded = false;
+  /// Distinct heap pages that could not be read (I/O error after
+  /// retries, or checksum failure).
+  int64_t pages_failed = 0;
+  /// Node records lost on those pages (plus undecodable records).
+  int64_t records_failed = 0;
+  /// Cut nodes kept coarser than the required LOD because a child was
+  /// lost or the deadline stopped refinement. When records were lost,
+  /// this also counts ROI-boundary misses the same query would keep
+  /// coarse anyway (the two are indistinguishable once a fetch is
+  /// incomplete) — treat it as an upper bound.
+  int64_t nodes_degraded = 0;
+  /// Transient I/O failures absorbed by the retry loop during this
+  /// query (pool-wide delta, so concurrent workers' retries may leak
+  /// into each other's counts).
+  int64_t io_retries = 0;
+  /// The per-query deadline expired during refinement.
+  bool deadline_hit = false;
+};
+
 /// Result of a DM query: the final approximation (vertices with
 /// positions, plus triangles) and the fetched node set.
 struct DmQueryResult {
@@ -87,6 +114,7 @@ struct DmQueryResult {
   std::vector<Point3> positions;  // parallel to `vertices`
   std::vector<Triangle> triangles;
   QueryStats stats;
+  QueryHealth health;
 };
 
 /// Tuning knobs of a query processor.
@@ -97,6 +125,18 @@ struct DmQueryOptions {
   /// near-zero heap traffic. Off = the same container types backed by
   /// the global heap, which bench_hotpath uses for the A/B.
   bool use_arena = true;
+  /// Degraded result mode: an unreadable/corrupt node page fails only
+  /// the nodes on it — affected regions fall back to coarser live
+  /// ancestors (legal by the LOD-interval tiling) and the loss is
+  /// reported in DmQueryResult::health. Off (the default) keeps
+  /// strict semantics: any lost page fails the query, which paper
+  /// benches and invariant audits rely on. Index-page failures are
+  /// always fatal (without the index there is no node set to degrade).
+  bool allow_degraded = false;
+  /// Per-query refinement deadline in milliseconds; 0 disables. When
+  /// it expires, remaining work stays at its current (coarser) LOD —
+  /// the query returns a legal cut early instead of running long.
+  double deadline_millis = 0.0;
 };
 
 /// Query processing over a DmStore (paper Section 5).
@@ -145,8 +185,13 @@ class DmQueryProcessor {
     return ArenaAllocator<VertexId>(scratch_arena());
   }
 
+  /// Resets per-query health/deadline state; every public entry point
+  /// calls this first.
+  void BeginQuery();
+
   /// Runs one 3D range query and loads the named nodes into `nodes`
-  /// (through the decoded-node cache when enabled).
+  /// (through the decoded-node cache when enabled). In degraded mode,
+  /// lost node records are tallied in `health_` instead of failing.
   Status FetchBox(const Box& box, NodeMap* nodes, QueryStats* stats);
 
   /// Shared tail of the viewpoint-dependent paths: refine `start` (the
@@ -166,6 +211,14 @@ class DmQueryProcessor {
   Arena arena_;
   /// RangeQuery result buffer, reused across queries (capacity sticks).
   std::vector<uint64_t> rid_scratch_;
+  /// Health of the in-flight query (reset by BeginQuery, copied into
+  /// the result). Member state, not a parameter, because the processor
+  /// is single-threaded by contract.
+  QueryHealth health_;
+  /// Deadline of the in-flight query; meaningful only when
+  /// `deadline_armed_`.
+  std::chrono::steady_clock::time_point deadline_;
+  bool deadline_armed_ = false;
 };
 
 }  // namespace dm

@@ -218,9 +218,21 @@ Result<DmNode> DmStore::FetchNode(RecordId rid) const {
   return DmNode::Decode(buf.data(), static_cast<uint32_t>(buf.size()));
 }
 
+int64_t DmStore::FetchFailures::FailedPages() const {
+  std::vector<PageId> pages;
+  pages.reserve(records.size());
+  for (const RecordFetchFailure& f : records) pages.push_back(f.rid.page);
+  std::sort(pages.begin(), pages.end());
+  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+  return static_cast<int64_t>(pages.size());
+}
+
 Status DmStore::FetchNodes(const std::vector<uint64_t>& sorted_rids,
                            const std::function<void(const NodeRef&)>& fn,
-                           FetchCounts* counts) const {
+                           FetchCounts* counts,
+                           FetchFailures* failures) const {
+  std::vector<RecordFetchFailure>* rec_failures =
+      failures != nullptr ? &failures->records : nullptr;
   if (node_cache_ == nullptr) {
     // Uncached path: exactly the seed behavior — every record is read
     // through the heap and decoded, so paper benches keep bit-identical
@@ -231,13 +243,19 @@ Status DmStore::FetchNodes(const std::vector<uint64_t>& sorted_rids,
       rids.push_back(RecordId::Unpack(packed));
     }
     return heap_.GetMany(
-        rids, [&](RecordId, const uint8_t* data, uint32_t len) -> Status {
+        rids,
+        [&](RecordId rid, const uint8_t* data, uint32_t len) -> Status {
           auto node_or = meta_.compressed ? DmNode::DecodeCompressed(data, len)
                                           : DmNode::Decode(data, len);
-          DM_RETURN_NOT_OK(node_or.status());
+          if (!node_or.ok()) {
+            if (rec_failures == nullptr) return node_or.status();
+            rec_failures->push_back({rid, node_or.status()});
+            return Status::OK();
+          }
           fn(std::make_shared<const DmNode>(std::move(node_or).value()));
           return Status::OK();
-        });
+        },
+        rec_failures);
   }
 
   // Cached path: probe per rid, then fetch only the misses. The miss
@@ -270,20 +288,35 @@ Status DmStore::FetchNodes(const std::vector<uint64_t>& sorted_rids,
     DM_RETURN_NOT_OK(heap_.GetMany(
         miss_rids,
         [&](RecordId rid, const uint8_t* data, uint32_t len) -> Status {
+          // Tolerant GetMany skips lost records, so re-align on the
+          // delivered rid (misses arrive in miss_rids order).
+          while (k < miss_rids.size() && miss_rids[k].Pack() < rid.Pack()) {
+            ++k;
+          }
+          DM_CHECK(k < miss_rids.size() && miss_rids[k] == rid)
+              << "GetMany delivered a record that was never requested";
           auto node_or = meta_.compressed ? DmNode::DecodeCompressed(data, len)
                                           : DmNode::Decode(data, len);
-          DM_RETURN_NOT_OK(node_or.status());
+          if (!node_or.ok()) {
+            if (rec_failures == nullptr) return node_or.status();
+            rec_failures->push_back({rid, node_or.status()});
+            ++k;
+            return Status::OK();
+          }
           auto ref =
               std::make_shared<const DmNode>(std::move(node_or).value());
           node_cache_->Insert(rid.Pack(), ref);
           out[miss_idx[k++]] = std::move(ref);
           return Status::OK();
-        }));
-    DM_CHECK(k == miss_idx.size())
+        },
+        rec_failures));
+    DM_CHECK(failures != nullptr || k == miss_idx.size())
         << "GetMany delivered " << k << " of " << miss_idx.size()
         << " missed records";
   }
-  for (const NodeRef& ref : out) fn(ref);
+  for (const NodeRef& ref : out) {
+    if (ref != nullptr) fn(ref);  // null = lost record in tolerant mode
+  }
   out.clear();  // drop the refs; evicted nodes should not outlive this
   return Status::OK();
 }

@@ -119,9 +119,27 @@ class DmStore {
     int64_t cache_hits = 0;
     int64_t cache_misses = 0;
   };
+
+  /// Nodes a tolerant FetchNodes could not deliver: records on
+  /// unreadable/corrupt pages (from the heap layer) plus records that
+  /// were read but failed to decode. The query layer degrades these
+  /// to coarser live nodes instead of failing the query.
+  struct FetchFailures {
+    std::vector<RecordFetchFailure> records;
+
+    bool empty() const { return records.empty(); }
+    /// Distinct heap pages implicated across `records`.
+    int64_t FailedPages() const;
+  };
+
+  /// When `failures` is null, any I/O, corruption, or decode error
+  /// fails the whole call (strict mode — builds and audits want this).
+  /// When non-null, per-record losses are collected there and the call
+  /// returns OK; `fn` simply never sees the lost nodes.
   Status FetchNodes(const std::vector<uint64_t>& sorted_rids,
                     const std::function<void(const NodeRef&)>& fn,
-                    FetchCounts* counts = nullptr) const;
+                    FetchCounts* counts = nullptr,
+                    FetchFailures* failures = nullptr) const;
 
   /// Sizes (0 disables) or resizes the decoded-node cache. Existing
   /// entries are dropped. Requires quiescence: no concurrent

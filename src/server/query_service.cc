@@ -15,10 +15,37 @@ QueryService::QueryService(DmStore* store, const QueryServiceOptions& options)
   DM_CHECK(store_ != nullptr) << "QueryService needs a store";
   options_.num_threads = std::max(1, options_.num_threads);
   options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
+  counters_ = std::vector<WorkerCounters>(
+      static_cast<size_t>(options_.num_threads));
   workers_.reserve(static_cast<size_t>(options_.num_threads));
   for (int i = 0; i < options_.num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
+}
+
+ServiceHealth QueryService::worker_health(int worker) const {
+  DM_CHECK(worker >= 0 &&
+           worker < static_cast<int>(counters_.size()))
+      << "worker index out of range";
+  const WorkerCounters& c = counters_[static_cast<size_t>(worker)];
+  ServiceHealth h;
+  h.errors = c.errors.load(std::memory_order_relaxed);
+  h.sheddable = c.sheddable.load(std::memory_order_relaxed);
+  h.shed = c.shed.load(std::memory_order_relaxed);
+  h.degraded = c.degraded.load(std::memory_order_relaxed);
+  return h;
+}
+
+ServiceHealth QueryService::health() const {
+  ServiceHealth total;
+  for (int i = 0; i < static_cast<int>(counters_.size()); ++i) {
+    const ServiceHealth h = worker_health(i);
+    total.errors += h.errors;
+    total.sheddable += h.sheddable;
+    total.shed += h.shed;
+    total.degraded += h.degraded;
+  }
+  return total;
 }
 
 QueryService::~QueryService() { Shutdown(); }
@@ -56,11 +83,12 @@ void QueryService::Shutdown() {
   workers_.clear();
 }
 
-void QueryService::WorkerLoop() {
+void QueryService::WorkerLoop(int worker) {
   // One processor per worker: the processor owns per-query scratch
   // (its arena), so giving each worker its own keeps every per-query
   // allocation thread-local.
   DmQueryProcessor proc(store_, options_.query);
+  WorkerCounters& counters = counters_[static_cast<size_t>(worker)];
   for (;;) {
     Job job;
     {
@@ -73,11 +101,34 @@ void QueryService::WorkerLoop() {
       not_full_.notify_one();
     }
     const auto dequeued = std::chrono::steady_clock::now();
-    const Result<DmQueryResult> result = Execute(&proc, job.request);
     QueryTiming timing;
     timing.queue_millis = std::chrono::duration<double, std::milli>(
                               dequeued - job.submitted)
                               .count();
+    Result<DmQueryResult> result = Status::Internal("unreached");
+    if (options_.max_queue_wait_millis > 0 &&
+        timing.queue_millis > options_.max_queue_wait_millis) {
+      // Overload shed: by the time this job reached a worker it had
+      // already blown its wait budget — executing it would only make
+      // the queue behind it later still.
+      counters.shed.fetch_add(1, std::memory_order_relaxed);
+      result = Status::Unavailable(
+          "shed: queued " + std::to_string(timing.queue_millis) +
+          " ms exceeds the " +
+          std::to_string(options_.max_queue_wait_millis) +
+          " ms wait budget; retry after backoff");
+    } else {
+      result = Execute(&proc, job.request);
+      if (!result.ok()) {
+        const StatusCode code = result.status().code();
+        const bool load_failure = code == StatusCode::kUnavailable ||
+                                  code == StatusCode::kResourceExhausted;
+        (load_failure ? counters.sheddable : counters.errors)
+            .fetch_add(1, std::memory_order_relaxed);
+      } else if (result.value().health.degraded) {
+        counters.degraded.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
     timing.exec_millis = std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - dequeued)
                              .count();
@@ -148,18 +199,21 @@ std::vector<QueryRequest> MakeMixedWorkload(const Rect& bounds, double max_lod,
 }
 
 std::string ThroughputReport::ToString() const {
-  char buf[384];
+  char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "threads=%d queries=%lld wall=%.1fms qps=%.1f "
                 "p50=%.2fms p99=%.2fms p999=%.2fms "
                 "queue_p50=%.2fms queue_p99=%.2fms "
                 "exec_p50=%.2fms exec_p99=%.2fms "
-                "disk_reads=%lld failed=%lld",
+                "disk_reads=%lld failed=%lld shed=%lld degraded=%lld "
+                "io_retries=%lld",
                 threads, static_cast<long long>(queries), wall_millis, qps,
                 p50_millis, p99_millis, p999_millis, queue_p50_millis,
                 queue_p99_millis, exec_p50_millis, exec_p99_millis,
                 static_cast<long long>(disk_reads),
-                static_cast<long long>(failed));
+                static_cast<long long>(failed), static_cast<long long>(shed),
+                static_cast<long long>(degraded),
+                static_cast<long long>(io_retries));
   return buf;
 }
 
@@ -178,40 +232,43 @@ double Percentile(std::vector<double> sorted_ascending, double p) {
 }  // namespace
 
 Result<ThroughputReport> RunThroughput(
-    DmStore* store, const std::vector<QueryRequest>& workload, int threads) {
+    DmStore* store, const std::vector<QueryRequest>& workload, int threads,
+    const DmQueryOptions& query, double max_queue_wait_millis) {
   using Clock = std::chrono::steady_clock;
   // Warm-cache steady state: write back dirt, keep everything
   // resident (the cold-cache FlushAll stays with the paper benches).
   DM_RETURN_NOT_OK(store->env()->FlushDirty());
   const int64_t reads0 = store->env()->stats().disk_reads;
+  const int64_t retries0 = store->env()->stats().io_retries;
 
   QueryServiceOptions options;
   options.num_threads = threads;
   options.queue_capacity =
       std::max<size_t>(8, 2 * static_cast<size_t>(threads));
+  options.query = query;
+  options.max_queue_wait_millis = max_queue_wait_millis;
   QueryService service(store, options);
 
   std::vector<double> latencies(workload.size(), 0.0);
   std::vector<double> queue_waits(workload.size(), 0.0);
   std::vector<double> exec_times(workload.size(), 0.0);
-  std::atomic<int64_t> failed{0};
   const auto run_start = Clock::now();
   for (size_t i = 0; i < workload.size(); ++i) {
     const auto submit_time = Clock::now();
     service.Submit(workload[i],
-                   [&latencies, &queue_waits, &exec_times, &failed, i,
-                    submit_time](const Result<DmQueryResult>& r,
-                                 const QueryTiming& t) {
+                   [&latencies, &queue_waits, &exec_times, i, submit_time](
+                       const Result<DmQueryResult>& r, const QueryTiming& t) {
+                     (void)r;  // outcomes come from the worker counters
                      latencies[i] = std::chrono::duration<double, std::milli>(
                                         Clock::now() - submit_time)
                                         .count();
                      queue_waits[i] = t.queue_millis;
                      exec_times[i] = t.exec_millis;
-                     if (!r.ok()) failed.fetch_add(1, std::memory_order_relaxed);
                    });
   }
   service.Drain();
   const auto run_end = Clock::now();
+  const ServiceHealth health = service.health();
   service.Shutdown();
 
   ThroughputReport report;
@@ -234,7 +291,10 @@ Result<ThroughputReport> RunThroughput(
   report.exec_p50_millis = Percentile(exec_times, 0.50);
   report.exec_p99_millis = Percentile(exec_times, 0.99);
   report.disk_reads = store->env()->stats().disk_reads - reads0;
-  report.failed = failed.load();
+  report.failed = health.errors + health.sheddable;
+  report.shed = health.shed;
+  report.degraded = health.degraded;
+  report.io_retries = store->env()->stats().io_retries - retries0;
   return report;
 }
 

@@ -52,8 +52,33 @@ struct QueryServiceOptions {
   /// Bounded queue depth; Submit blocks when the queue is full
   /// (condition-variable backpressure instead of unbounded growth).
   size_t queue_capacity = 64;
-  /// Per-worker query-processor knobs (arena on/off).
+  /// Overload shedding: a job that already waited in the queue longer
+  /// than this budget is dropped at dequeue with Status::Unavailable
+  /// instead of executing — under saturation the pool sheds the
+  /// queries it can no longer serve in time rather than serving all
+  /// of them late. 0 disables shedding.
+  double max_queue_wait_millis = 0.0;
+  /// Per-worker query-processor knobs (arena, degraded mode, deadline).
   DmQueryOptions query;
+};
+
+/// Failure-handling counters of a QueryService, either one worker's or
+/// the pool-wide sum (DESIGN.md §11).
+struct ServiceHealth {
+  /// Queries that failed with a non-load status (I/O error after
+  /// retries, corruption, bad arguments) — a bug or a bad disk, not
+  /// pressure.
+  int64_t errors = 0;
+  /// Queries that failed under load: Status::Unavailable (transient
+  /// not absorbed by retries) or Status::ResourceExhausted (all
+  /// buffer-pool frames pinned). Retry-after-backoff territory.
+  int64_t sheddable = 0;
+  /// Queries dropped at dequeue because their queue wait exceeded
+  /// `max_queue_wait_millis` (never executed).
+  int64_t shed = 0;
+  /// Queries that completed with health.degraded set: a legal mesh,
+  /// coarser or sparser than a healthy run's.
+  int64_t degraded = 0;
 };
 
 /// Fixed-size worker pool serving DM queries against one shared
@@ -96,6 +121,11 @@ class QueryService {
     return completed_.load(std::memory_order_relaxed);
   }
 
+  /// One worker's failure counters (worker in [0, num_threads)).
+  ServiceHealth worker_health(int worker) const;
+  /// Pool-wide sum over all workers.
+  ServiceHealth health() const;
+
  private:
   struct Job {
     QueryRequest request;
@@ -103,12 +133,24 @@ class QueryService {
     std::chrono::steady_clock::time_point submitted;
   };
 
-  void WorkerLoop();
+  /// Per-worker counters; each slot is written only by its worker, and
+  /// read (relaxed) by health() — totals are exact once the pool is
+  /// drained.
+  struct WorkerCounters {
+    std::atomic<int64_t> errors{0};
+    std::atomic<int64_t> sheddable{0};
+    std::atomic<int64_t> shed{0};
+    std::atomic<int64_t> degraded{0};
+  };
+
+  void WorkerLoop(int worker);
   Result<DmQueryResult> Execute(DmQueryProcessor* proc,
                                 const QueryRequest& request) const;
 
   DmStore* store_;
   QueryServiceOptions options_;
+  /// Sized once in the constructor, never resized (atomics pin it).
+  std::vector<WorkerCounters> counters_;
   std::vector<std::thread> workers_;
 
   mutable std::mutex mu_;
@@ -150,7 +192,13 @@ struct ThroughputReport {
   double exec_p50_millis = 0.0;
   double exec_p99_millis = 0.0;
   int64_t disk_reads = 0;  // aggregate over the run (warm cache)
+  /// Real failures (errors + sheddable); shed queries are counted
+  /// separately — dropping late work under overload is policy, not
+  /// failure.
   int64_t failed = 0;
+  int64_t shed = 0;
+  int64_t degraded = 0;  // completed with a coarser-than-asked mesh
+  int64_t io_retries = 0;  // transient I/O absorbed during the run
 
   std::string ToString() const;
 };
@@ -158,10 +206,14 @@ struct ThroughputReport {
 /// Replays `workload` through a QueryService with `threads` workers
 /// and reports throughput and latency percentiles. The cache is
 /// warmed (FlushDirty steady state), not flushed, so repeated runs
-/// measure serving capacity rather than cold-start I/O.
+/// measure serving capacity rather than cold-start I/O. `query` and
+/// `max_queue_wait_millis` pass through to QueryServiceOptions so
+/// fault benches can run degraded-with-deadline and shedding modes.
 Result<ThroughputReport> RunThroughput(DmStore* store,
                                        const std::vector<QueryRequest>& workload,
-                                       int threads);
+                                       int threads,
+                                       const DmQueryOptions& query = {},
+                                       double max_queue_wait_millis = 0.0);
 
 }  // namespace dm
 

@@ -1,10 +1,22 @@
 #include "storage/buffer_pool.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "common/check.h"
+#include "storage/page_crc.h"
 
 namespace dm {
+
+namespace {
+/// Bounded retry policy for transient-class (kUnavailable) I/O
+/// failures: 4 attempts total with 100/200/400 us backoff. Sized so an
+/// EINTR storm costs under a millisecond but a persistent fault still
+/// fails fast enough for the query deadline to degrade gracefully.
+constexpr int kMaxIoAttempts = 4;
+constexpr int64_t kIoBackoffBaseMicros = 100;
+}  // namespace
 
 PageGuard::PageGuard(BufferPool* pool, PageId id, uint8_t* data)
     : pool_(pool), id_(id), data_(data) {}
@@ -45,7 +57,7 @@ void PageGuard::Release() {
   }
 }
 
-BufferPool::BufferPool(DiskManager* disk, uint32_t capacity_pages,
+BufferPool::BufferPool(PageDevice* disk, uint32_t capacity_pages,
                        uint32_t num_shards)
     : disk_(disk), capacity_(capacity_pages) {
   DM_CHECK(capacity_ > 0) << "buffer pool needs at least one frame";
@@ -83,6 +95,8 @@ IoStats BufferPool::stats() const {
     total.disk_writes += s->disk_writes.load(std::memory_order_relaxed);
     total.evictions += s->evictions.load(std::memory_order_relaxed);
   }
+  total.io_retries = io_retries_.load(std::memory_order_relaxed);
+  total.corrupt_pages = corrupt_pages_.load(std::memory_order_relaxed);
   return total;
 }
 
@@ -93,6 +107,48 @@ void BufferPool::ResetStats() {
     s->disk_writes.store(0, std::memory_order_relaxed);
     s->evictions.store(0, std::memory_order_relaxed);
   }
+  io_retries_.store(0, std::memory_order_relaxed);
+  corrupt_pages_.store(0, std::memory_order_relaxed);
+}
+
+Status BufferPool::ReadWithRetry(PageId first, uint32_t n, uint8_t* out) {
+  Status st;
+  for (int attempt = 0;; ++attempt) {
+    st = disk_->ReadPages(first, n, out);
+    if (st.code() != StatusCode::kUnavailable) break;
+    if (attempt + 1 >= kMaxIoAttempts) break;
+    io_retries_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(kIoBackoffBaseMicros << attempt));
+  }
+  DM_RETURN_NOT_OK(st);
+  if (verify_checksums_) {
+    const uint32_t page_size = disk_->page_size();
+    for (uint32_t i = 0; i < n; ++i) {
+      const Status v =
+          VerifyPageTrailer(out + static_cast<size_t>(i) * page_size,
+                            page_size, first + i);
+      if (!v.ok()) {
+        corrupt_pages_.fetch_add(1, std::memory_order_relaxed);
+        return v;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::WriteWithStamp(Frame& f) {
+  StampPageTrailer(f.data.data(), disk_->page_size());
+  Status st;
+  for (int attempt = 0;; ++attempt) {
+    st = disk_->WritePage(f.id, f.data.data());
+    if (st.code() != StatusCode::kUnavailable) break;
+    if (attempt + 1 >= kMaxIoAttempts) break;
+    io_retries_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(kIoBackoffBaseMicros << attempt));
+  }
+  return st;
 }
 
 int64_t BufferPool::pinned_frames() const {
@@ -181,14 +237,15 @@ Result<uint32_t> BufferPool::GetFreeFrameLocked(Shard& s) {
     return idx;
   }
   if (s.lru_head == kNoFrame) {
-    return Status::Internal("buffer pool exhausted: all frames pinned");
+    return Status::ResourceExhausted(
+        "buffer pool exhausted: all frames pinned");
   }
   const uint32_t idx = s.lru_head;
   LruErase(s, idx);
   s.evictions.fetch_add(1, std::memory_order_relaxed);
   Frame& f = s.frames[idx];
   if (f.dirty) {
-    DM_RETURN_NOT_OK(disk_->WritePage(f.id, f.data.data()));
+    DM_RETURN_NOT_OK(WriteWithStamp(f));
     s.disk_writes.fetch_add(1, std::memory_order_relaxed);
     f.dirty = false;
   }
@@ -228,7 +285,7 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
   }
   DM_ASSIGN_OR_RETURN(const uint32_t idx, GetFreeFrameLocked(s));
   Frame& f = s.frames[idx];
-  DM_RETURN_NOT_OK(disk_->ReadPage(id, f.data.data()));
+  DM_RETURN_NOT_OK(ReadWithRetry(id, 1, f.data.data()));
   s.disk_reads.fetch_add(1, std::memory_order_relaxed);
   f.id = id;
   f.pins = 1;
@@ -275,8 +332,7 @@ Status BufferPool::FetchRun(PageId first, uint32_t n,
     }
     const uint32_t run = static_cast<uint32_t>(end - m);
     scratch.resize(static_cast<size_t>(run) * page_size);
-    DM_RETURN_NOT_OK(
-        disk_->ReadPages(first + missing[m], run, scratch.data()));
+    DM_RETURN_NOT_OK(ReadWithRetry(first + missing[m], run, scratch.data()));
     // Pass 3: install in ascending page order; another worker may have
     // installed a page meanwhile, in which case its copy wins.
     for (uint32_t r = 0; r < run; ++r) {
@@ -344,7 +400,7 @@ Status BufferPool::FlushAll() {
       Frame& f = s.frames[idx];
       if (!f.mapped) continue;
       if (f.dirty) {
-        DM_RETURN_NOT_OK(disk_->WritePage(f.id, f.data.data()));
+        DM_RETURN_NOT_OK(WriteWithStamp(f));
         s.disk_writes.fetch_add(1, std::memory_order_relaxed);
         f.dirty = false;
       }
@@ -368,7 +424,7 @@ Status BufferPool::FlushDirty() {
     for (uint32_t idx = 0; idx < s.frames.size(); ++idx) {
       Frame& f = s.frames[idx];
       if (!f.mapped || !f.dirty || f.pins > 0) continue;
-      DM_RETURN_NOT_OK(disk_->WritePage(f.id, f.data.data()));
+      DM_RETURN_NOT_OK(WriteWithStamp(f));
       s.disk_writes.fetch_add(1, std::memory_order_relaxed);
       f.dirty = false;
     }

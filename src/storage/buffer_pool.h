@@ -27,6 +27,13 @@ struct IoStats {
   /// the free list is not an eviction). Diagnoses pool thrash next to
   /// the node-cache counters in `dmctl cache-stats`.
   int64_t evictions = 0;
+  /// Transient-class I/O failures (kUnavailable: EINTR storms, EAGAIN)
+  /// absorbed by the bounded-backoff retry loop. A retried op that
+  /// eventually succeeds is invisible to callers except here.
+  int64_t io_retries = 0;
+  /// Pages whose trailer failed checksum verification on fetch. Each
+  /// one surfaced as Status::Corruption naming the page.
+  int64_t corrupt_pages = 0;
 
   void Reset() { *this = IoStats{}; }
 };
@@ -62,7 +69,7 @@ class PageGuard {
   uint8_t* data_ = nullptr;
 };
 
-/// Sharded, thread-safe LRU buffer pool over a DiskManager. Pages hash
+/// Sharded, thread-safe LRU buffer pool over a PageDevice. Pages hash
 /// to one of `num_shards` independent sub-pools, each with its own
 /// mutex, page table, LRU list, and free list, so concurrent query
 /// workers only contend when they touch the same shard. Per-shard I/O
@@ -81,7 +88,7 @@ class BufferPool {
 
   /// `num_shards` is clamped to [1, capacity_pages]; frames are split
   /// evenly across shards (earlier shards take the remainder).
-  BufferPool(DiskManager* disk, uint32_t capacity_pages,
+  BufferPool(PageDevice* disk, uint32_t capacity_pages,
              uint32_t num_shards = 1);
   ~BufferPool();
 
@@ -92,6 +99,20 @@ class BufferPool {
   uint32_t num_shards() const {
     return static_cast<uint32_t>(shards_.size());
   }
+
+  /// Page bytes usable by structures above the pool: the physical page
+  /// minus the integrity trailer the pool owns. All layouts (heap
+  /// slots, index fan-out) are computed from this.
+  uint32_t logical_page_size() const {
+    return disk_->page_size() - kPageTrailerSize;
+  }
+
+  /// Toggles trailer verification on fetch (stamping on flush is
+  /// unconditional, so the file stays valid either way). On by
+  /// default; the throughput bench turns it off to measure checksum
+  /// overhead. Set before serving starts.
+  void set_verify_checksums(bool verify) { verify_checksums_ = verify; }
+  bool verify_checksums() const { return verify_checksums_; }
   /// Aggregated counters (sum over shards).
   IoStats stats() const;
   void ResetStats();
@@ -207,6 +228,15 @@ class BufferPool {
   static void TableInsert(Shard& s, uint32_t idx);
   /// Unlinks frame `idx` from the table.
   static void TableErase(Shard& s, uint32_t idx);
+  /// Reads `n` pages at `first`, retrying transient (kUnavailable)
+  /// failures with exponential backoff up to kMaxIoAttempts, then
+  /// verifies every page's trailer. Corruption is not retried: the
+  /// bytes are wrong, not late.
+  Status ReadWithRetry(PageId first, uint32_t n, uint8_t* out);
+  /// Writes one page (stamping its trailer first) with the same
+  /// transient-retry policy.
+  Status WriteWithStamp(Frame& f);
+
   /// Requires s.mu held. May evict (writing back a dirty victim).
   Result<uint32_t> GetFreeFrameLocked(Shard& s);
   /// Requires s.mu held: pins the frame of `id` if resident.
@@ -215,8 +245,11 @@ class BufferPool {
   /// under `id`, and pins it.
   Result<uint8_t*> InstallLocked(Shard& s, PageId id, const uint8_t* data);
 
-  DiskManager* disk_;
+  PageDevice* disk_;
   uint32_t capacity_;
+  bool verify_checksums_ = true;
+  std::atomic<int64_t> io_retries_{0};
+  std::atomic<int64_t> corrupt_pages_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

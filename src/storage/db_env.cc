@@ -7,10 +7,17 @@ Result<std::unique_ptr<DbEnv>> DbEnv::Open(const std::string& path,
   DM_ASSIGN_OR_RETURN(
       auto disk,
       DiskManager::Open(path, options.page_size, options.truncate));
-  auto pool = std::make_unique<BufferPool>(disk.get(), options.pool_pages,
+  std::unique_ptr<FaultInjectingDevice> fault;
+  PageDevice* device = disk.get();
+  if (options.enable_fault_injection) {
+    fault = std::make_unique<FaultInjectingDevice>(disk.get());
+    device = fault.get();
+  }
+  auto pool = std::make_unique<BufferPool>(device, options.pool_pages,
                                            options.pool_shards);
-  return std::unique_ptr<DbEnv>(
-      new DbEnv(std::move(disk), std::move(pool), options));
+  pool->set_verify_checksums(options.verify_checksums);
+  return std::unique_ptr<DbEnv>(new DbEnv(
+      std::move(disk), std::move(fault), std::move(pool), options));
 }
 
 }  // namespace dm

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
+#include "storage/fault_env.h"
 
 namespace dm {
 
@@ -31,6 +32,13 @@ struct DbOptions {
   /// Shards for the decoded-node cache (NodeCache::kDefaultShards).
   uint32_t node_cache_shards = 16;
   bool truncate = true;
+  /// Verify every fetched page's CRC32C trailer (DESIGN.md §11). On by
+  /// default; benches toggle it to measure checksum overhead.
+  bool verify_checksums = true;
+  /// Interpose a FaultInjectingDevice between the pool and the disk.
+  /// The shim starts with an empty plan (no faults); tests arm it via
+  /// `fault_device()->set_plan(...)` after building their store.
+  bool enable_fault_injection = false;
 };
 
 /// One database: a single page file shared by every table and index of
@@ -48,7 +56,11 @@ class DbEnv {
 
   BufferPool& pool() { return *pool_; }
   DiskManager& disk() { return *disk_; }
-  uint32_t page_size() const { return disk_->page_size(); }
+  /// The fault shim, or nullptr when `enable_fault_injection` is off.
+  FaultInjectingDevice* fault_device() { return fault_.get(); }
+  /// Logical page size: what every structure above the buffer pool
+  /// sizes its layout from. Physical minus the integrity trailer.
+  uint32_t page_size() const { return pool_->logical_page_size(); }
   /// The options this environment was opened with (layers above storage
   /// read their knobs — e.g. node_cache_bytes — from here).
   const DbOptions& options() const { return options_; }
@@ -65,11 +77,16 @@ class DbEnv {
   Status FlushDirty() { return pool_->FlushDirty(); }
 
  private:
-  DbEnv(std::unique_ptr<DiskManager> disk, std::unique_ptr<BufferPool> pool,
-        const DbOptions& options)
-      : disk_(std::move(disk)), pool_(std::move(pool)), options_(options) {}
+  DbEnv(std::unique_ptr<DiskManager> disk,
+        std::unique_ptr<FaultInjectingDevice> fault,
+        std::unique_ptr<BufferPool> pool, const DbOptions& options)
+      : disk_(std::move(disk)),
+        fault_(std::move(fault)),
+        pool_(std::move(pool)),
+        options_(options) {}
 
   std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<FaultInjectingDevice> fault_;  // may be null
   std::unique_ptr<BufferPool> pool_;
   DbOptions options_;
 };

@@ -16,36 +16,69 @@ namespace dm {
 
 namespace {
 
-/// Full-length positioned read; retries on EINTR and partial transfers.
-/// Returns the number of bytes read (short only at EOF) or -1 on error.
-ssize_t PreadFull(int fd, uint8_t* buf, size_t count, off_t offset) {
+/// Bytes transferred plus the errno (0 = no syscall error) that
+/// stopped a full-length transfer early, so callers can classify
+/// ENOSPC / EAGAIN apart from short transfers.
+struct XferResult {
   size_t done = 0;
-  while (done < count) {
-    const ssize_t n =
-        ::pread(fd, buf + done, count - done, offset + static_cast<off_t>(done));
+  int err = 0;
+};
+
+/// Full-length positioned read; retries on EINTR and partial
+/// transfers. Short only at EOF unless `err` is set.
+XferResult PreadFull(int fd, uint8_t* buf, size_t count, off_t offset) {
+  XferResult r;
+  while (r.done < count) {
+    const ssize_t n = ::pread(fd, buf + r.done, count - r.done,
+                              offset + static_cast<off_t>(r.done));
     if (n < 0) {
       if (errno == EINTR) continue;
-      return -1;
+      r.err = errno;
+      return r;
     }
     if (n == 0) break;  // EOF
-    done += static_cast<size_t>(n);
+    r.done += static_cast<size_t>(n);
   }
-  return static_cast<ssize_t>(done);
+  return r;
 }
 
 /// Full-length positioned write; retries on EINTR and partial transfers.
-bool PwriteFull(int fd, const uint8_t* buf, size_t count, off_t offset) {
-  size_t done = 0;
-  while (done < count) {
-    const ssize_t n = ::pwrite(fd, buf + done, count - done,
-                               offset + static_cast<off_t>(done));
+XferResult PwriteFull(int fd, const uint8_t* buf, size_t count,
+                      off_t offset) {
+  XferResult r;
+  while (r.done < count) {
+    const ssize_t n = ::pwrite(fd, buf + r.done, count - r.done,
+                               offset + static_cast<off_t>(r.done));
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
+      r.err = errno;
+      return r;
     }
-    done += static_cast<size_t>(n);
+    if (n == 0) break;  // defensive: pwrite must not return 0 for n>0
+    r.done += static_cast<size_t>(n);
   }
-  return true;
+  return r;
+}
+
+/// Maps a failed/short write to a Status with errno text. EAGAIN is
+/// transient (retryable by the buffer pool's backoff loop); ENOSPC
+/// gets its own message since the fix (add storage) differs from any
+/// other I/O error.
+Status ClassifyWriteFailure(const XferResult& r, size_t want,
+                            const std::string& what) {
+  if (r.err == EAGAIN) {
+    return Status::Unavailable(what + ": " + std::strerror(r.err) +
+                               " (transient)");
+  }
+  if (r.err == ENOSPC) {
+    return Status::IOError(what + ": disk full (" + std::strerror(r.err) +
+                           ")");
+  }
+  if (r.err != 0) {
+    return Status::IOError(what + ": " + std::strerror(r.err));
+  }
+  return Status::IOError(what + ": short write (" + std::to_string(r.done) +
+                         " of " + std::to_string(want) + " bytes)");
 }
 
 }  // namespace
@@ -78,9 +111,11 @@ Result<PageId> DiskManager::AllocatePage() {
   std::lock_guard<std::mutex> lock(alloc_mu_);
   const PageId id = num_pages_.load(std::memory_order_relaxed);
   std::vector<uint8_t> zero(page_size_, 0);
-  if (!PwriteFull(fd_, zero.data(), page_size_,
-                  static_cast<off_t>(id) * page_size_)) {
-    return Status::IOError("short write extending file");
+  const XferResult w = PwriteFull(fd_, zero.data(), page_size_,
+                                  static_cast<off_t>(id) * page_size_);
+  if (w.err != 0 || w.done != page_size_) {
+    return ClassifyWriteFailure(
+        w, page_size_, "extending file to page " + std::to_string(id));
   }
   num_pages_.store(id + 1, std::memory_order_relaxed);
   return id;
@@ -106,18 +141,29 @@ Status DiskManager::ReadPages(PageId first, uint32_t n, uint8_t* out) {
         static_cast<uint64_t>(simulated_read_latency_micros_) * n));
   }
   const size_t total = static_cast<size_t>(n) * page_size_;
-  const ssize_t got =
+  const XferResult got =
       PreadFull(fd_, out, total, static_cast<off_t>(first) * page_size_);
-  if (got == static_cast<ssize_t>(total)) return Status::OK();
+  if (got.err == 0 && got.done == total) return Status::OK();
   // Short or failed bulk read (sparse tail, racing extension): fall
   // back to one pread per page so the failing page is identified.
   for (uint32_t i = 0; i < n; ++i) {
-    const ssize_t one =
+    const XferResult one =
         PreadFull(fd_, out + static_cast<size_t>(i) * page_size_, page_size_,
                   static_cast<off_t>(first + i) * page_size_);
-    if (one != static_cast<ssize_t>(page_size_)) {
+    if (one.err == EAGAIN) {
+      return Status::Unavailable("reading page " + std::to_string(first + i) +
+                                 ": " + std::strerror(one.err) +
+                                 " (transient)");
+    }
+    if (one.err != 0) {
+      return Status::IOError("reading page " + std::to_string(first + i) +
+                             ": " + std::strerror(one.err));
+    }
+    if (one.done != page_size_) {
       return Status::IOError("short read of page " +
-                             std::to_string(first + i));
+                             std::to_string(first + i) + " (" +
+                             std::to_string(one.done) + " of " +
+                             std::to_string(page_size_) + " bytes)");
     }
   }
   return Status::OK();
@@ -128,9 +174,11 @@ Status DiskManager::WritePage(PageId id, const uint8_t* data) {
   if (id >= num_pages_.load(std::memory_order_relaxed)) {
     return Status::OutOfRange("page " + std::to_string(id) + " beyond EOF");
   }
-  if (!PwriteFull(fd_, data, page_size_,
-                  static_cast<off_t>(id) * page_size_)) {
-    return Status::IOError("short write of page " + std::to_string(id));
+  const XferResult w = PwriteFull(fd_, data, page_size_,
+                                  static_cast<off_t>(id) * page_size_);
+  if (w.err != 0 || w.done != page_size_) {
+    return ClassifyWriteFailure(w, page_size_,
+                                "writing page " + std::to_string(id));
   }
   return Status::OK();
 }

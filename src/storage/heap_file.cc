@@ -178,6 +178,13 @@ Status HeapFile::GetMany(
     const std::vector<RecordId>& rids,
     const std::function<Status(RecordId, const uint8_t*, uint32_t)>& callback)
     const {
+  return GetMany(rids, callback, nullptr);
+}
+
+Status HeapFile::GetMany(
+    const std::vector<RecordId>& rids,
+    const std::function<Status(RecordId, const uint8_t*, uint32_t)>& callback,
+    std::vector<RecordFetchFailure>* failures) const {
   const uint32_t max_run = env_->pool().MaxRunPages();
   size_t i = 0;
   while (i < rids.size()) {
@@ -200,14 +207,52 @@ Status HeapFile::GetMany(
       break;
     }
     std::vector<PageGuard> guards;
-    DM_RETURN_NOT_OK(env_->pool().FetchRun(first, npages, &guards));
+    const Status run_st = env_->pool().FetchRun(first, npages, &guards);
+    if (!run_st.ok()) {
+      if (failures == nullptr) return run_st;
+      // Tolerant fallback: re-fetch the failed run one page at a time
+      // so only the records on the bad page are lost.
+      size_t k = i;
+      while (k < j) {
+        const PageId p = rids[k].page;
+        size_t e = k;
+        while (e < j && rids[e].page == p) ++e;
+        auto page_or = env_->pool().Fetch(p);
+        if (!page_or.ok()) {
+          for (size_t t = k; t < e; ++t) {
+            failures->push_back({rids[t], page_or.status()});
+          }
+        } else {
+          PageGuard page = std::move(page_or).value();
+          for (size_t t = k; t < e; ++t) {
+            const uint8_t* data = nullptr;
+            uint16_t len = 0;
+            const Status st = LocateSlot(page.data(), env_->page_size(), p,
+                                         rids[t].slot, &data, &len);
+            if (!st.ok()) {
+              failures->push_back({rids[t], st});
+              continue;
+            }
+            DM_RETURN_NOT_OK(callback(rids[t], data, len));
+          }
+        }
+        k = e;
+      }
+      i = j;
+      continue;
+    }
     for (size_t k = i; k < j; ++k) {
       const RecordId rid = rids[k];
       const uint8_t* data = nullptr;
       uint16_t len = 0;
-      DM_RETURN_NOT_OK(LocateSlot(guards[rid.page - first].data(),
-                                  env_->page_size(), rid.page, rid.slot,
-                                  &data, &len));
+      const Status st = LocateSlot(guards[rid.page - first].data(),
+                                   env_->page_size(), rid.page, rid.slot,
+                                   &data, &len);
+      if (!st.ok()) {
+        if (failures == nullptr) return st;
+        failures->push_back({rid, st});
+        continue;
+      }
       DM_RETURN_NOT_OK(callback(rid, data, len));
     }
     // Release pins in ascending page order so the LRU ends up exactly

@@ -11,6 +11,14 @@
 
 namespace dm {
 
+/// One record a tolerant batch fetch could not produce, with the
+/// Status (kIOError, kCorruption, kUnavailable after retries...) that
+/// sank it. Queries map these to degraded nodes instead of failing.
+struct RecordFetchFailure {
+  RecordId rid;
+  Status status;
+};
+
 /// Append-only heap file of variable-length records in slotted pages.
 ///
 /// Page layout: [next_page u32][slot_count u16][free_off u16]
@@ -64,6 +72,18 @@ class HeapFile {
       const std::vector<RecordId>& rids,
       const std::function<Status(RecordId, const uint8_t*, uint32_t)>&
           callback) const;
+
+  /// Tolerant batch fetch: like GetMany, but an unreadable or corrupt
+  /// page fails only the records on it. When a coalesced run fails,
+  /// the run is re-fetched page by page so one bad sector cannot sink
+  /// its neighbours; each lost record lands in `failures` with the
+  /// Status that killed it, and the overall call still returns OK.
+  /// Callback errors (the caller's own decode logic) stay fatal.
+  Status GetMany(
+      const std::vector<RecordId>& rids,
+      const std::function<Status(RecordId, const uint8_t*, uint32_t)>&
+          callback,
+      std::vector<RecordFetchFailure>* failures) const;
 
   /// Full scan in storage order. The callback may return false to stop.
   Status Scan(const std::function<bool(RecordId, const uint8_t*, uint32_t)>&

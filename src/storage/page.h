@@ -14,6 +14,20 @@ inline constexpr PageId kInvalidPage = 0xFFFFFFFFu;
 /// everything reads the runtime value from DbEnv.
 inline constexpr uint32_t kDefaultPageSize = 4096;
 
+/// Integrity trailer at the end of every page (format v5):
+///   [crc32c u32][format u8][reserved u8 x3]
+/// The CRC covers the page's logical bytes (physical size minus the
+/// trailer), is stamped by the buffer pool on flush, and verified on
+/// every disk read. Structures above the pool see only the logical
+/// size (`DbEnv::page_size()`), so their layouts need no changes.
+/// A freshly allocated all-zero page carries no stamp yet; verify
+/// accepts it (crc field 0 + zero payload) so allocate-then-read
+/// races stay legal.
+inline constexpr uint32_t kPageTrailerSize = 8;
+inline constexpr uint8_t kPageFormatVersion = 5;
+inline constexpr uint32_t kPageTrailerCrcOff = 0;
+inline constexpr uint32_t kPageTrailerFormatOff = 4;
+
 /// Reference to a record inside a heap file: page plus slot index.
 struct RecordId {
   PageId page = kInvalidPage;

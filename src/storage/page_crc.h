@@ -1,0 +1,72 @@
+#ifndef DIRECTMESH_STORAGE_PAGE_CRC_H_
+#define DIRECTMESH_STORAGE_PAGE_CRC_H_
+
+#include <cstring>
+#include <string>
+
+#include "common/crc32c.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace dm {
+
+/// Trailer stamp/verify helpers shared by the buffer pool (every
+/// flush/fetch) and `dmctl scrub` (whole-file audit). The CRC covers
+/// the logical bytes; the format byte and reserved bytes are checked
+/// literally, so a bit flip anywhere in the physical page is caught.
+
+inline bool PageIsAllZero(const uint8_t* page, uint32_t n) {
+  for (uint32_t i = 0; i < n; ++i) {
+    if (page[i] != 0) return false;
+  }
+  return true;
+}
+
+/// Writes the integrity trailer over the last kPageTrailerSize bytes.
+inline void StampPageTrailer(uint8_t* page, uint32_t physical_size) {
+  const uint32_t logical = physical_size - kPageTrailerSize;
+  uint8_t* t = page + logical;
+  const uint32_t crc = Crc32c(page, logical);
+  std::memcpy(t + kPageTrailerCrcOff, &crc, 4);
+  t[kPageTrailerFormatOff] = kPageFormatVersion;
+  t[kPageTrailerFormatOff + 1] = 0;
+  t[kPageTrailerFormatOff + 2] = 0;
+  t[kPageTrailerFormatOff + 3] = 0;
+}
+
+/// Verifies the trailer of page `id`. A page that has never been
+/// flushed (freshly allocated, all-zero including its trailer) passes;
+/// anything else must carry the current format byte and a matching
+/// CRC. Returns kCorruption naming the page otherwise.
+inline Status VerifyPageTrailer(const uint8_t* page, uint32_t physical_size,
+                                PageId id) {
+  const uint32_t logical = physical_size - kPageTrailerSize;
+  const uint8_t* t = page + logical;
+  if (t[kPageTrailerFormatOff] == kPageFormatVersion) {
+    if (t[kPageTrailerFormatOff + 1] != 0 ||
+        t[kPageTrailerFormatOff + 2] != 0 ||
+        t[kPageTrailerFormatOff + 3] != 0) {
+      return Status::Corruption("page " + std::to_string(id) +
+                                ": nonzero reserved trailer bytes");
+    }
+    uint32_t stored = 0;
+    std::memcpy(&stored, t + kPageTrailerCrcOff, 4);
+    const uint32_t actual = Crc32c(page, logical);
+    if (actual != stored) {
+      return Status::Corruption("page " + std::to_string(id) +
+                                ": checksum mismatch (stored " +
+                                std::to_string(stored) + ", computed " +
+                                std::to_string(actual) + ")");
+    }
+    return Status::OK();
+  }
+  if (PageIsAllZero(page, physical_size)) return Status::OK();
+  return Status::Corruption(
+      "page " + std::to_string(id) + ": bad format byte " +
+      std::to_string(t[kPageTrailerFormatOff]) + " (want " +
+      std::to_string(kPageFormatVersion) + ")");
+}
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_STORAGE_PAGE_CRC_H_

@@ -19,8 +19,9 @@ namespace {
 // Bump whenever the on-disk layout of any store changes; cached builds
 // with a different version are rebuilt. v4: wave-based simplification
 // changed the collapse sequence (and thus every store) relative to the
-// strict-greedy v3 builds.
-constexpr int64_t kFormatVersion = 4;
+// strict-greedy v3 builds. v5: every page carries an 8-byte CRC32C
+// trailer, shrinking the logical page size and moving every record.
+constexpr int64_t kFormatVersion = 5;
 
 int SideFromEnv(const char* var, int fallback) {
   const char* v = std::getenv(var);

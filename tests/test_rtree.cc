@@ -116,9 +116,12 @@ TEST_F(RStarTreeTest, NodeExtentsNestProperly) {
     if (ext.level == 0) leaf_entries += ext.count;
   }
   EXPECT_EQ(leaf_entries, 1500);
-  // Every non-root node respects the R* minimum fill.
-  const uint32_t max_entries = (512 - 8) / 56;
-  const uint32_t min_entries = static_cast<uint32_t>(max_entries * 0.4);
+  // Every non-root node respects the R* minimum fill. Capacity derives
+  // from the logical page size (physical minus the integrity trailer),
+  // matching RStarTree::MaxEntries().
+  const uint32_t max_entries = (env_->page_size() - 8) / 56 - 1;
+  const uint32_t min_entries =
+      std::max(2u, static_cast<uint32_t>(max_entries * 0.4));
   int undersized = 0;
   for (size_t i = 1; i < extents.size(); ++i) {
     if (extents[i].count < min_entries) ++undersized;

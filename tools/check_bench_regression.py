@@ -6,6 +6,8 @@ Usage:
       --current BENCH_smoke.json [--max-qps-drop-pct 30]
   check_bench_regression.py --baseline bench/baselines/BENCH_build_tiny.json \
       --current BENCH_build_smoke.json [--max-slowdown-pct 75]
+  check_bench_regression.py --baseline bench/baselines/BENCH_faults_tiny.json \
+      --current BENCH_faults_smoke.json [--max-qps-drop-pct 40]
 
 The baseline's `bench` field selects the rule set:
 
@@ -13,7 +15,9 @@ bench_throughput:
   * fails if any `threads_N/qps` dropped more than --max-qps-drop-pct
     relative to the baseline;
   * fails if any `threads_N/failed` metric in the current run is
-    non-zero.
+    non-zero;
+  * fails if `checksum_overhead_pct` (CRC-verification A/B) exceeds
+    --max-checksum-overhead-pct.
 
 bench_build:
   * fails if any `threads_N/total_millis` rose more than
@@ -21,6 +25,14 @@ bench_build:
   * fails if the current run's `determinism_ok` is not 1 (stores built
     at different thread counts must be byte-identical — this is a
     correctness gate, not a performance one).
+
+bench_faults:
+  * fails if the zero-fault configuration (`rate_0/...`) has failed or
+    degraded queries — with no faults armed the fault path must be
+    invisible;
+  * fails if any `rate_X/qps` dropped more than --max-qps-drop-pct
+    relative to the baseline (degradation getting drastically more
+    expensive is a regression too).
 
 Improvements never fail, and thread counts present in only one of the
 two files are reported but ignored — the gate is meant to catch
@@ -37,7 +49,7 @@ def load_doc(path, expect_bench=None):
     with open(path) as f:
         doc = json.load(f)
     bench = doc.get("bench")
-    if bench not in ("bench_throughput", "bench_build"):
+    if bench not in ("bench_throughput", "bench_build", "bench_faults"):
         sys.exit(f"{path}: unsupported bench kind ({bench!r})")
     if expect_bench is not None and bench != expect_bench:
         sys.exit(f"{path}: bench kind {bench!r}, expected {expect_bench!r}")
@@ -46,7 +58,7 @@ def load_doc(path, expect_bench=None):
 
 def compare_series(base, cur, suffix, max_worse_pct, higher_is_better,
                    failures):
-    """Compares every `threads_N/<suffix>` metric; returns the count."""
+    """Compares every `<config>/<suffix>` metric; returns the count."""
     compared = 0
     for key, base_val in sorted(base.items()):
         if not key.endswith("/" + suffix):
@@ -81,6 +93,7 @@ def main():
     ap.add_argument("--current", required=True)
     ap.add_argument("--max-qps-drop-pct", type=float, default=30.0)
     ap.add_argument("--max-slowdown-pct", type=float, default=75.0)
+    ap.add_argument("--max-checksum-overhead-pct", type=float, default=10.0)
     args = ap.parse_args()
 
     bench, base = load_doc(args.baseline)
@@ -93,8 +106,31 @@ def main():
         for key, value in sorted(cur.items()):
             if key.endswith("/failed") and value != 0:
                 failures.append(f"{key}: {int(value)} queries failed")
+        overhead = cur.get("checksum_overhead_pct")
+        if overhead is not None:
+            status = "ok"
+            if overhead > args.max_checksum_overhead_pct:
+                status = "REGRESSION"
+                failures.append(
+                    f"checksum_overhead_pct: {overhead:.2f}% > "
+                    f"{args.max_checksum_overhead_pct:.0f}% allowed")
+            print(f"checksum_overhead_pct: {overhead:.2f}% "
+                  f"(limit {args.max_checksum_overhead_pct:.0f}%) {status}")
+            compared += 1
+        else:
+            print("note: checksum_overhead_pct missing from current run")
         if compared == 0:
             failures.append("no overlapping threads_N/qps metrics to compare")
+    elif bench == "bench_faults":
+        compared = compare_series(base, cur, "qps", args.max_qps_drop_pct,
+                                  higher_is_better=True, failures=failures)
+        for key in ("rate_0/failed", "rate_0/degraded"):
+            value = cur.get(key, 0)
+            if value != 0:
+                failures.append(
+                    f"{key}: {int(value)} (zero-fault run must be clean)")
+        if compared == 0:
+            failures.append("no overlapping rate_X/qps metrics to compare")
     else:  # bench_build
         compared = compare_series(base, cur, "total_millis",
                                   args.max_slowdown_pct,

@@ -38,6 +38,7 @@
 #include "simplify/simplifier.h"
 #include "storage/buffer_pool.h"
 #include "storage/db_env.h"
+#include "storage/page_crc.h"
 
 namespace dm {
 namespace {
@@ -89,6 +90,7 @@ int Usage() {
       "fractal|crater] [--side N] [--seed S] [--compress] [--threads T]\n"
       "  dmctl info  --db BASE\n"
       "  dmctl verify --db BASE [--max-violations N]\n"
+      "  dmctl scrub --db BASE\n"
       "  dmctl query --db BASE --roi x0,y0,x1,y1 (--lod E | --keep F) "
       "[--obj OUT] [--ppm OUT]\n"
       "  dmctl view  --db BASE --roi x0,y0,x1,y1 --emin E --emax E "
@@ -96,7 +98,8 @@ int Usage() {
       "  dmctl bench-serve --db BASE [--threads 1,2,4] [--queries N] "
       "[--duration-ms MS] [--persp-pct P] [--mb-pct P] [--roi-pct P]\n"
       "              [--shards N] [--read-latency-us N] [--seed S] "
-      "[--json OUT]\n"
+      "[--json OUT] [--degraded] [--deadline-ms MS] "
+      "[--max-queue-wait-ms MS]\n"
       "  dmctl cache-stats --db BASE [--cache-mb MB] [--queries N] "
       "[--roi-pct P] [--seed S] [--read-latency-us N]\n");
   return 2;
@@ -381,6 +384,74 @@ Status RunVerify(const Args& args) {
   return Status::OK();
 }
 
+// Offline integrity audit (DESIGN.md §11): verifies the CRC32C trailer
+// of every physical page, decodes every heap record, then cross-checks
+// the structural invariants. Exits non-zero naming the first bad page,
+// so a cron'd `dmctl scrub` turns latent disk corruption into a page
+// number before any query trips over it.
+Status RunScrub(const Args& args) {
+  DM_ASSIGN_OR_RETURN(OpenDb db, Open(args));
+
+  // Phase 1: raw page sweep, straight through the disk manager so the
+  // buffer pool cannot hide a bad page behind a cached copy.
+  DiskManager& disk = db.env->disk();
+  const uint32_t physical = disk.page_size();
+  const PageId pages = disk.num_pages();
+  std::vector<uint8_t> buf(physical);
+  for (PageId id = 0; id < pages; ++id) {
+    DM_RETURN_NOT_OK(disk.ReadPage(id, buf.data()));
+    DM_RETURN_NOT_OK(VerifyPageTrailer(buf.data(), physical, id));
+  }
+  std::printf("scrub: %lld pages checksum-clean\n",
+              static_cast<long long>(pages));
+
+  // Phase 2: decode every node record (a page can be checksum-clean
+  // yet hold a record a buggy writer truncated).
+  const bool compressed = db.lm.meta.compressed;
+  int64_t records = 0;
+  Status decode_st = Status::OK();
+  DM_RETURN_NOT_OK(db.store->heap().Scan(
+      [&](RecordId rid, const uint8_t* data, uint32_t len) {
+        const Result<DmNode> node =
+            compressed ? DmNode::DecodeCompressed(data, len)
+                       : DmNode::Decode(data, len);
+        if (!node.ok()) {
+          decode_st = Status::Corruption(
+              "record " + std::to_string(rid.slot) + " on page " +
+              std::to_string(rid.page) +
+              " does not decode: " + node.status().ToString());
+          return false;
+        }
+        ++records;
+        return true;
+      }));
+  DM_RETURN_NOT_OK(decode_st);
+  if (records != db.lm.meta.num_nodes) {
+    return Status::Corruption(
+        "heap holds " + std::to_string(records) + " records but the "
+        "catalog says " + std::to_string(db.lm.meta.num_nodes));
+  }
+  std::printf("scrub: %lld records decode cleanly\n",
+              static_cast<long long>(records));
+
+  // Phase 3: structural invariants across heap + index + tree shape.
+  InvariantOptions options;
+  options.max_violations_per_invariant = args.GetInt("max-violations", 16);
+  DM_ASSIGN_OR_RETURN(const InvariantReport report,
+                      VerifyDmStore(*db.store, options));
+  if (!report.ok()) {
+    if (report.violations.empty()) {
+      return Status::Corruption("invariant violations (all suppressed)");
+    }
+    return Status::Corruption("invariant violation: [" +
+                              report.violations.front().invariant + "] " +
+                              report.violations.front().detail);
+  }
+  std::printf("scrub: invariants hold (%s)\n", report.ToString().c_str());
+  std::printf("scrub: clean\n");
+  return Status::OK();
+}
+
 double LodFromArgs(const Args& args, const LoadedMeta& lm) {
   if (args.Has("lod")) return args.GetDouble("lod", 0.0);
   const double keep = args.GetDouble("keep", 0.1);
@@ -483,10 +554,18 @@ Status RunBenchServe(const Args& args) {
   };
   std::vector<QueryRequest> workload = make_workload(count);
 
+  // Failure-handling knobs: --degraded turns lost pages into coarser
+  // meshes instead of failed queries, --deadline-ms bounds refinement,
+  // --max-queue-wait-ms sheds jobs that waited too long.
+  DmQueryOptions query;
+  query.allow_degraded = args.Has("degraded");
+  query.deadline_millis = args.GetDouble("deadline-ms", 0.0);
+  const double max_wait = args.GetDouble("max-queue-wait-ms", 0.0);
+
   // Untimed pass: warms the pool and, with --duration-ms, calibrates
   // how many queries fill the requested wall time per configuration.
   DM_ASSIGN_OR_RETURN(const ThroughputReport warm,
-                      RunThroughput(db.store.get(), workload, 1));
+                      RunThroughput(db.store.get(), workload, 1, query));
   std::printf("warm-up: %s\n", warm.ToString().c_str());
   const double duration_ms = args.GetDouble("duration-ms", 0.0);
   if (duration_ms > 0 && warm.qps > 0) {
@@ -496,8 +575,9 @@ Status RunBenchServe(const Args& args) {
 
   std::vector<ThroughputReport> reports;
   for (int threads : thread_counts) {
-    DM_ASSIGN_OR_RETURN(const ThroughputReport r,
-                        RunThroughput(db.store.get(), workload, threads));
+    DM_ASSIGN_OR_RETURN(
+        const ThroughputReport r,
+        RunThroughput(db.store.get(), workload, threads, query, max_wait));
     std::printf("%s\n", r.ToString().c_str());
     reports.push_back(r);
   }
@@ -515,6 +595,9 @@ Status RunBenchServe(const Args& args) {
       out << ", " << p << "p99_millis\": " << r.p99_millis;
       out << ", " << p << "disk_reads\": " << r.disk_reads;
       out << ", " << p << "failed\": " << r.failed;
+      out << ", " << p << "shed\": " << r.shed;
+      out << ", " << p << "degraded\": " << r.degraded;
+      out << ", " << p << "io_retries\": " << r.io_retries;
     }
     out << "}}\n";
     std::printf("wrote %s\n", json_path.c_str());
@@ -589,6 +672,8 @@ int Main(int argc, char** argv) {
     st = RunInfo(args);
   } else if (args.command == "verify") {
     st = RunVerify(args);
+  } else if (args.command == "scrub") {
+    st = RunScrub(args);
   } else if (args.command == "query") {
     st = RunQuery(args);
   } else if (args.command == "view") {
