@@ -21,10 +21,10 @@ WorkerPool::WorkerPool(int threads) : threads_(threads) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -33,16 +33,18 @@ void WorkerPool::WorkerLoop(int index) {
   for (;;) {
     const std::function<void(int)>* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      MutexLock lock(mu_);
+      while (!stop_ && generation_ == seen) {
+        work_cv_.Wait(mu_);
+      }
       if (stop_) return;
       seen = generation_;
       job = job_;
     }
     (*job)(index);
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--pending_ == 0) done_cv_.notify_one();
+      MutexLock lock(mu_);
+      if (--pending_ == 0) done_cv_.NotifyOne();
     }
   }
 }
@@ -53,15 +55,17 @@ void WorkerPool::RunOnAll(const std::function<void(int)>& fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_ = &fn;
     pending_ = threads_ - 1;
     ++generation_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   fn(0);
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return pending_ == 0; });
+  MutexLock lock(mu_);
+  while (pending_ != 0) {
+    done_cv_.Wait(mu_);
+  }
   job_ = nullptr;
 }
 

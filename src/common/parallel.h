@@ -3,12 +3,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace dm {
 
@@ -44,13 +44,13 @@ class WorkerPool {
 
   const int threads_;
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(int)>* job_ = nullptr;
-  uint64_t generation_ = 0;
-  int pending_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  const std::function<void(int)>* job_ DM_GUARDED_BY(mu_) = nullptr;
+  uint64_t generation_ DM_GUARDED_BY(mu_) = 0;
+  int pending_ DM_GUARDED_BY(mu_) = 0;
+  bool stop_ DM_GUARDED_BY(mu_) = false;
 };
 
 /// Chunked parallel loop over [0, n): `fn(begin, end)` is invoked over

@@ -33,7 +33,12 @@ enum class StatusCode : uint8_t {
 
 /// Result of a fallible operation: a code plus a human-readable message.
 /// `Status::OK()` is cheap (no allocation); error statuses carry a message.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status is how I/O errors became
+/// invisible in every storage system ever; the compiler now flags any
+/// call site that ignores one. Discarding deliberately (teardown
+/// paths) takes an explicit `(void)` cast.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 
@@ -82,9 +87,11 @@ class Status {
 };
 
 /// A value-or-error container. Use `ok()` / `status()` to inspect, and
-/// `value()` (asserting) or `ValueOrDie()` to extract.
+/// `value()` (asserting) or `ValueOrDie()` to extract. [[nodiscard]]
+/// for the same reason as Status: an ignored Result is an ignored
+/// error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /* implicit */ Result(T value) : value_(std::move(value)) {}
   /* implicit */ Result(Status status) : status_(std::move(status)) {

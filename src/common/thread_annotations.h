@@ -1,0 +1,162 @@
+#ifndef DIRECTMESH_COMMON_THREAD_ANNOTATIONS_H_
+#define DIRECTMESH_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+/// Clang thread-safety annotations (DESIGN.md §12) plus the annotated
+/// lock vocabulary the whole concurrent layer uses. Under Clang the
+/// macros expand to the `capability` attribute family, so a build with
+/// `-Wthread-safety -Werror=thread-safety` (the DM_THREAD_SAFETY CMake
+/// option) machine-checks the locking discipline: every DM_GUARDED_BY
+/// member access, every DM_REQUIRES precondition, every scoped
+/// acquire/release. Under GCC the macros expand to nothing and the
+/// wrappers are zero-cost veneers over the std primitives.
+///
+/// House rules (enforced by tools/dm_lint.py):
+///   - raw std::mutex / std::lock_guard / std::unique_lock /
+///     std::condition_variable never appear outside this header;
+///   - every mutex-protected member is DM_GUARDED_BY its mutex;
+///   - private helpers that assume a lock are DM_REQUIRES it.
+///
+/// Condition-variable waits use explicit `while (!cond) cv.Wait(mu);`
+/// loops instead of predicate lambdas: the analysis checks lambda
+/// bodies as separate unannotated functions, so a predicate reading a
+/// guarded member would (correctly) fail the build even though the
+/// wait holds the lock. The explicit loop keeps the read inside the
+/// annotated caller where the capability is visible.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define DM_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef DM_THREAD_ANNOTATION_
+#define DM_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// A type that is a lockable capability ("mutex" names the kind in
+/// diagnostics).
+#define DM_CAPABILITY(x) DM_THREAD_ANNOTATION_(capability(x))
+
+/// RAII type that acquires a capability at construction and releases
+/// it at destruction.
+#define DM_SCOPED_CAPABILITY DM_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Member that may only be read or written while holding `x`.
+#define DM_GUARDED_BY(x) DM_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x`.
+#define DM_PT_GUARDED_BY(x) DM_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function that may only be called while holding the listed
+/// capabilities (which it neither acquires nor releases).
+#define DM_REQUIRES(...) \
+  DM_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the listed capabilities (held on return).
+#define DM_ACQUIRE(...) \
+  DM_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the listed capabilities (held on entry).
+#define DM_RELEASE(...) \
+  DM_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns `b`.
+#define DM_TRY_ACQUIRE(b, ...) \
+  DM_THREAD_ANNOTATION_(try_acquire_capability(b, __VA_ARGS__))
+
+/// Function that must NOT be called while holding the listed
+/// capabilities (deadlock prevention for self-locking methods).
+#define DM_EXCLUDES(...) DM_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch: disables analysis inside one function body. Every use
+/// needs a comment saying why the analysis cannot see the invariant.
+#define DM_NO_THREAD_SAFETY_ANALYSIS \
+  DM_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace dm {
+
+class CondVar;
+
+/// Annotated exclusive mutex. Method names follow the std BasicLockable
+/// convention so CondVar (condition_variable_any) can drop and reacquire
+/// it during a wait; user code should prefer MutexLock over calling
+/// lock()/unlock() directly.
+class DM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DM_ACQUIRE() { mu_.lock(); }
+  void unlock() DM_RELEASE() { mu_.unlock(); }
+  bool try_lock() DM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII scoped lock on a Mutex. Supports the unlock-while-calling-out
+/// pattern (Unlock/Lock) that worker loops use around callbacks; the
+/// analysis tracks the scoped state, so touching a guarded member in
+/// the unlocked window fails the build.
+class DM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DM_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  ~MutexLock() DM_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases early (e.g. before running a user callback).
+  void Unlock() DM_RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+  /// Reacquires after Unlock().
+  void Lock() DM_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Condition variable bound to dm::Mutex. Wait atomically releases the
+/// mutex and reacquires it before returning, so callers keep their
+/// DM_REQUIRES obligations across the wait. Spurious wakeups are
+/// possible; always wait in a `while (!condition)` loop.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified. `mu` must be held (and is held again on
+  /// return).
+  void Wait(Mutex& mu) DM_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Blocks until notified or `timeout` elapses; returns false on
+  /// timeout.
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      DM_REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout) == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace dm
+
+#endif  // DIRECTMESH_COMMON_THREAD_ANNOTATIONS_H_

@@ -252,6 +252,7 @@ Status DmStore::FetchNodes(const std::vector<uint64_t>& sorted_rids,
             rec_failures->push_back({rid, node_or.status()});
             return Status::OK();
           }
+          // dm-lint: allow(hot-path-alloc) decode miss allocates by design
           fn(std::make_shared<const DmNode>(std::move(node_or).value()));
           return Status::OK();
         },
@@ -303,6 +304,7 @@ Status DmStore::FetchNodes(const std::vector<uint64_t>& sorted_rids,
             ++k;
             return Status::OK();
           }
+          // dm-lint: allow(hot-path-alloc) decode miss allocates by design
           auto ref =
               std::make_shared<const DmNode>(std::move(node_or).value());
           node_cache_->Insert(rid.Pack(), ref);

@@ -26,7 +26,7 @@ size_t NodeCache::EntryBytes(const DmNode& node) {
 
 NodeRef NodeCache::Lookup(uint64_t key) {
   Shard& s = ShardFor(key);
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   auto it = s.map.find(key);
   if (it == s.map.end()) {
     s.misses.fetch_add(1, std::memory_order_relaxed);
@@ -42,7 +42,7 @@ void NodeCache::Insert(uint64_t key, const NodeRef& node) {
   const size_t bytes = EntryBytes(*node);
   if (bytes > shard_capacity_) return;  // would evict the whole shard
   Shard& s = ShardFor(key);
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   if (s.map.count(key) != 0) return;  // racing install: first one wins
   while (s.bytes + bytes > shard_capacity_ && !s.lru.empty()) {
     const uint64_t victim = s.lru.front();
@@ -64,7 +64,7 @@ void NodeCache::Insert(uint64_t key, const NodeRef& node) {
 
 void NodeCache::Clear() {
   for (const auto& sp : shards_) {
-    std::lock_guard<std::mutex> lock(sp->mu);
+    MutexLock lock(sp->mu);
     sp->map.clear();
     sp->lru.clear();
     sp->bytes = 0;
@@ -77,7 +77,7 @@ NodeCacheStats NodeCache::stats() const {
     total.hits += sp->hits.load(std::memory_order_relaxed);
     total.misses += sp->misses.load(std::memory_order_relaxed);
     total.evictions += sp->evictions.load(std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(sp->mu);
+    MutexLock lock(sp->mu);
     total.entries += static_cast<int64_t>(sp->map.size());
     total.bytes += static_cast<int64_t>(sp->bytes);
   }

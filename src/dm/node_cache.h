@@ -5,10 +5,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "dm/dm_node.h"
 
 namespace dm {
@@ -81,10 +81,11 @@ class NodeCache {
     std::list<uint64_t>::iterator lru_pos;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<uint64_t, Entry> map;
-    std::list<uint64_t> lru;  // front = least recently used
-    size_t bytes = 0;
+    mutable Mutex mu;
+    std::unordered_map<uint64_t, Entry> map DM_GUARDED_BY(mu);
+    // Front = least recently used.
+    std::list<uint64_t> lru DM_GUARDED_BY(mu);
+    size_t bytes DM_GUARDED_BY(mu) = 0;
     std::atomic<int64_t> hits{0};
     std::atomic<int64_t> misses{0};
     std::atomic<int64_t> evictions{0};

@@ -51,31 +51,33 @@ ServiceHealth QueryService::health() const {
 QueryService::~QueryService() { Shutdown(); }
 
 bool QueryService::Submit(QueryRequest request, QueryCallback done) {
-  std::unique_lock<std::mutex> lock(mu_);
-  not_full_.wait(lock, [this] {
-    return stopping_ || queue_.size() < options_.queue_capacity;
-  });
+  MutexLock lock(mu_);
+  while (!stopping_ && queue_.size() >= options_.queue_capacity) {
+    not_full_.Wait(mu_);
+  }
   if (stopping_) return false;
   queue_.push_back(Job{std::move(request), std::move(done),
                        std::chrono::steady_clock::now()});
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
   return true;
 }
 
 void QueryService::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (!queue_.empty() || in_flight_ != 0) {
+    idle_.Wait(mu_);
+  }
 }
 
 void QueryService::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_ && workers_.empty()) return;
     stopping_ = true;
     // Workers drain the remaining queue before exiting; producers
     // blocked in Submit give up.
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
@@ -92,13 +94,15 @@ void QueryService::WorkerLoop(int worker) {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) {
+        not_empty_.Wait(mu_);
+      }
       if (queue_.empty()) return;  // stopping, nothing left to drain
       job = std::move(queue_.front());
       queue_.pop_front();
       ++in_flight_;
-      not_full_.notify_one();
+      not_full_.NotifyOne();
     }
     const auto dequeued = std::chrono::steady_clock::now();
     QueryTiming timing;
@@ -135,9 +139,9 @@ void QueryService::WorkerLoop(int worker) {
     if (job.done) job.done(result, timing);
     completed_.fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+      if (queue_.empty() && in_flight_ == 0) idle_.NotifyAll();
     }
   }
 }

@@ -3,16 +3,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "dm/dm_query.h"
 #include "dm/dm_store.h"
 
@@ -153,13 +152,14 @@ class QueryService {
   std::vector<WorkerCounters> counters_;
   std::vector<std::thread> workers_;
 
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;  // workers wait for jobs
-  std::condition_variable not_full_;   // producers wait for space
-  std::condition_variable idle_;       // Drain waits for quiescence
-  std::deque<Job> queue_;
-  size_t in_flight_ = 0;  // dequeued but not yet completed
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_;  // workers wait for jobs
+  CondVar not_full_;   // producers wait for space
+  CondVar idle_;       // Drain waits for quiescence
+  std::deque<Job> queue_ DM_GUARDED_BY(mu_);
+  // Dequeued but not yet completed.
+  size_t in_flight_ DM_GUARDED_BY(mu_) = 0;
+  bool stopping_ DM_GUARDED_BY(mu_) = false;
 
   std::atomic<int64_t> completed_{0};
 };

@@ -4,11 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 
@@ -177,9 +177,10 @@ class BufferPool {
     bool mapped = false;
   };
 
-  /// One independent sub-pool. All mutable state is guarded by `mu`;
-  /// the stats counters are relaxed atomics so aggregation never
-  /// blocks a fetch.
+  /// One independent sub-pool. All mutable state is guarded by `mu`
+  /// (machine-checked: every member below is DM_GUARDED_BY it); the
+  /// stats counters are relaxed atomics so aggregation never blocks a
+  /// fetch.
   ///
   /// The page table is an intrusive chained hash over the frames
   /// themselves (`buckets` holds chain heads, `Frame::hash_next` the
@@ -187,12 +188,18 @@ class BufferPool {
   /// node-based std::unordered_map which would heap-allocate on every
   /// page install — one allocation per disk read on the query path.
   struct Shard {
-    mutable std::mutex mu;
-    std::vector<Frame> frames;
-    std::vector<uint32_t> buckets;     // power-of-two chain heads
-    uint32_t lru_head = kNoFrame;      // least recently used
-    uint32_t lru_tail = kNoFrame;      // most recently used
-    std::vector<uint32_t> free_list;   // frames never used / dropped
+    mutable Mutex mu;
+    /// Frame count, fixed at construction; duplicated outside the
+    /// guarded state so MaxRunPages can size runs without taking every
+    /// shard lock on each FetchRun.
+    uint32_t frame_count = 0;
+    std::vector<Frame> frames DM_GUARDED_BY(mu);
+    // Power-of-two chain heads of the intrusive page table.
+    std::vector<uint32_t> buckets DM_GUARDED_BY(mu);
+    uint32_t lru_head DM_GUARDED_BY(mu) = kNoFrame;  // least recently used
+    uint32_t lru_tail DM_GUARDED_BY(mu) = kNoFrame;  // most recently used
+    // Frames never used / dropped.
+    std::vector<uint32_t> free_list DM_GUARDED_BY(mu);
     std::atomic<int64_t> logical_fetches{0};
     std::atomic<int64_t> disk_reads{0};
     std::atomic<int64_t> disk_writes{0};
@@ -212,38 +219,41 @@ class BufferPool {
 
   void Unpin(PageId id);
   void MarkDirty(PageId id);
-  /// Intrusive-LRU helpers; require s.mu held and f.in_lru consistent.
-  static void LruPushBack(Shard& s, uint32_t idx);
-  static void LruErase(Shard& s, uint32_t idx);
-  /// Intrusive page-table helpers; require s.mu held.
-  static uint32_t BucketFor(const Shard& s, PageId id) {
+  /// Intrusive-LRU helpers; f.in_lru must be consistent.
+  static void LruPushBack(Shard& s, uint32_t idx) DM_REQUIRES(s.mu);
+  static void LruErase(Shard& s, uint32_t idx) DM_REQUIRES(s.mu);
+  /// Intrusive page-table helpers.
+  static uint32_t BucketFor(const Shard& s, PageId id) DM_REQUIRES(s.mu) {
     // Fibonacci hash; buckets.size() is a power of two.
     const uint32_t h =
         static_cast<uint32_t>(static_cast<uint64_t>(id) * 2654435769u);
     return (h >> 16) & (static_cast<uint32_t>(s.buckets.size()) - 1);
   }
   /// Frame index of `id`, or kNoFrame.
-  static uint32_t TableFind(const Shard& s, PageId id);
+  static uint32_t TableFind(const Shard& s, PageId id) DM_REQUIRES(s.mu);
   /// Installs frame `idx` (whose Frame::id is already set) in the table.
-  static void TableInsert(Shard& s, uint32_t idx);
+  static void TableInsert(Shard& s, uint32_t idx) DM_REQUIRES(s.mu);
   /// Unlinks frame `idx` from the table.
-  static void TableErase(Shard& s, uint32_t idx);
+  static void TableErase(Shard& s, uint32_t idx) DM_REQUIRES(s.mu);
   /// Reads `n` pages at `first`, retrying transient (kUnavailable)
   /// failures with exponential backoff up to kMaxIoAttempts, then
   /// verifies every page's trailer. Corruption is not retried: the
-  /// bytes are wrong, not late.
+  /// bytes are wrong, not late. Touches no shard state; FetchRun calls
+  /// it outside any shard lock so bulk reads never block other workers.
   Status ReadWithRetry(PageId first, uint32_t n, uint8_t* out);
-  /// Writes one page (stamping its trailer first) with the same
-  /// transient-retry policy.
-  Status WriteWithStamp(Frame& f);
+  /// Writes back frame `f` of shard `s` (stamping its trailer first)
+  /// with the same transient-retry policy. The frame's bytes are
+  /// guarded by s.mu, hence the capability requirement.
+  Status WriteWithStamp(Shard& s, Frame& f) DM_REQUIRES(s.mu);
 
-  /// Requires s.mu held. May evict (writing back a dirty victim).
-  Result<uint32_t> GetFreeFrameLocked(Shard& s);
-  /// Requires s.mu held: pins the frame of `id` if resident.
-  uint8_t* PinIfPresentLocked(Shard& s, PageId id);
-  /// Requires s.mu held: claims a frame, installs `data` (page bytes)
-  /// under `id`, and pins it.
-  Result<uint8_t*> InstallLocked(Shard& s, PageId id, const uint8_t* data);
+  /// May evict (writing back a dirty victim).
+  Result<uint32_t> GetFreeFrameLocked(Shard& s) DM_REQUIRES(s.mu);
+  /// Pins the frame of `id` if resident.
+  uint8_t* PinIfPresentLocked(Shard& s, PageId id) DM_REQUIRES(s.mu);
+  /// Claims a frame, installs `data` (page bytes) under `id`, and pins
+  /// it.
+  Result<uint8_t*> InstallLocked(Shard& s, PageId id, const uint8_t* data)
+      DM_REQUIRES(s.mu);
 
   PageDevice* disk_;
   uint32_t capacity_;

@@ -108,7 +108,7 @@ Result<std::unique_ptr<DiskManager>> DiskManager::Open(
 }
 
 Result<PageId> DiskManager::AllocatePage() {
-  std::lock_guard<std::mutex> lock(alloc_mu_);
+  MutexLock lock(alloc_mu_);
   const PageId id = num_pages_.load(std::memory_order_relaxed);
   std::vector<uint8_t> zero(page_size_, 0);
   const XferResult w = PwriteFull(fd_, zero.data(), page_size_,

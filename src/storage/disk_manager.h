@@ -4,10 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/page.h"
 
 namespace dm {
@@ -94,7 +94,10 @@ class DiskManager final : public PageDevice {
   int fd_;
   uint32_t page_size_;
   std::atomic<PageId> num_pages_;
-  std::mutex alloc_mu_;  // serializes file extension
+  /// Serializes file extension: the zero-fill pwrite and the
+  /// num_pages_ bump must be atomic with respect to other allocators
+  /// (readers only need the atomic).
+  Mutex alloc_mu_;
   uint32_t simulated_read_latency_micros_ = 0;
 };
 

@@ -10,7 +10,7 @@
 namespace dm {
 
 void FaultInjectingDevice::set_plan(const FaultPlan& plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   plan_ = plan;
   rng_.Seed(plan.seed);
   op_index_ = 0;
@@ -29,7 +29,7 @@ void FaultInjectingDevice::ResetStats() {
 
 FaultInjectingDevice::Fault FaultInjectingDevice::NextFault(
     bool is_read, uint64_t* detail) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t op = op_index_++;
   stats_.ops.fetch_add(1, std::memory_order_relaxed);
   // Always draw the same two values per op so the schedule depends

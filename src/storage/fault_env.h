@@ -3,10 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "storage/disk_manager.h"
 
@@ -132,11 +132,17 @@ class FaultInjectingDevice final : public PageDevice {
   Fault NextFault(bool is_read, uint64_t* detail);
 
   PageDevice* base_;
+  /// Written only by set_plan between query batches (see its contract)
+  /// and read concurrently by the op paths; deliberately not guarded —
+  /// guarding it here would serialize every fault draw against plan
+  /// reads that are immutable while ops are in flight.
   FaultPlan plan_;
   FaultStats stats_;
-  std::mutex mu_;   // guards rng_ + op_index_
-  Rng rng_;
-  uint64_t op_index_ = 0;
+  /// Guards the deterministic schedule: the rng stream and op counter
+  /// must advance together so the Nth op always draws the Nth values.
+  Mutex mu_;
+  Rng rng_ DM_GUARDED_BY(mu_);
+  uint64_t op_index_ DM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dm

@@ -1,0 +1,47 @@
+// Positive control for the negative-compile fixture: correct use of
+// the annotated lock vocabulary must compile cleanly, with the
+// thread-safety gate on (Clang) and off (GCC, macros are no-ops).
+// Exercises every construct the production code relies on: guarded
+// members, DM_REQUIRES helpers, scoped lock with early Unlock/Lock,
+// and the condition-variable wait loop.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class BoundedCounter {
+ public:
+  void Add(long delta) {
+    dm::MutexLock lock(mu_);
+    while (value_ + delta > kLimit) {
+      not_full_.Wait(mu_);
+    }
+    AddLocked(delta);
+    // Unlock around the "callback", then reacquire — the worker-loop
+    // pattern QueryService uses around user completions.
+    lock.Unlock();
+    lock.Lock();
+    not_full_.NotifyAll();
+  }
+
+  long value() {
+    dm::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  static constexpr long kLimit = 1000;
+
+  void AddLocked(long delta) DM_REQUIRES(mu_) { value_ += delta; }
+
+  dm::Mutex mu_;
+  dm::CondVar not_full_;
+  long value_ DM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  BoundedCounter c;
+  c.Add(7);
+  return c.value() == 7 ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+# Test-time compile driver for the thread-safety fixtures. Invoked by
+# ctest as
+#
+#   cmake -DCOMPILER=<c++> -DSRC=<file> -DINCLUDE_DIR=<repo>/src
+#         -DEXTRA_FLAGS="-Wthread-safety;-Werror=thread-safety"
+#         -DEXPECT=fail|ok -P check_compile.cmake
+#
+# EXPECT=fail additionally demands that the diagnostic actually comes
+# from the thread-safety analysis — a fixture failing for any other
+# reason (syntax error, missing header) is a broken fixture, not a
+# passing test. Invoking the compiler directly (-fsyntax-only, no
+# output) keeps the test hermetic and safe under `ctest -j`: nothing
+# touches the shared build tree.
+
+foreach(var COMPILER SRC INCLUDE_DIR EXPECT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_compile.cmake needs -D${var}=...")
+  endif()
+endforeach()
+if(NOT DEFINED EXTRA_FLAGS)
+  set(EXTRA_FLAGS "")
+endif()
+
+execute_process(
+  COMMAND ${COMPILER} -std=c++20 -fsyntax-only ${EXTRA_FLAGS}
+          "-I${INCLUDE_DIR}" "${SRC}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(EXPECT STREQUAL "ok")
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "expected ${SRC} to compile, but it failed (rc=${rc}):\n${err}")
+  endif()
+elseif(EXPECT STREQUAL "fail")
+  if(rc EQUAL 0)
+    message(FATAL_ERROR
+            "expected ${SRC} to be rejected by the thread-safety "
+            "analysis, but it compiled — the annotations have no teeth")
+  endif()
+  if(NOT err MATCHES "thread-safety")
+    message(FATAL_ERROR
+            "${SRC} failed to compile, but not because of the "
+            "thread-safety analysis — broken fixture?\n${err}")
+  endif()
+else()
+  message(FATAL_ERROR "EXPECT must be 'ok' or 'fail', got '${EXPECT}'")
+endif()

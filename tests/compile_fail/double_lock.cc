@@ -1,0 +1,24 @@
+// Negative-compile fixture: acquiring the same shard mutex twice in
+// one scope must fail under -Werror=thread-safety (dm::Mutex is not
+// recursive; a double acquire is a self-deadlock).
+#include "common/thread_annotations.h"
+
+namespace {
+
+struct ShardLike {
+  dm::Mutex mu;
+  long hits DM_GUARDED_BY(mu) = 0;
+};
+
+long DoubleAcquire(ShardLike& s) {
+  dm::MutexLock outer(s.mu);
+  dm::MutexLock inner(s.mu);  // BAD: s.mu is already held
+  return s.hits;
+}
+
+}  // namespace
+
+int main() {
+  ShardLike s;
+  return static_cast<int>(DoubleAcquire(s));
+}

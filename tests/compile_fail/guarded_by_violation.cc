@@ -1,0 +1,24 @@
+// Negative-compile fixture: reading a DM_GUARDED_BY member without
+// holding its mutex must fail under -Werror=thread-safety. If this
+// file ever compiles with the thread-safety gate on, the annotation
+// macros have lost their teeth (most likely DM_THREAD_ANNOTATION_
+// expanding to nothing under Clang).
+#include "common/thread_annotations.h"
+
+namespace {
+
+struct ShardLike {
+  dm::Mutex mu;
+  long lru_clock DM_GUARDED_BY(mu) = 0;
+};
+
+long ReadWithoutLock(ShardLike& s) {
+  return s.lru_clock;  // BAD: no lock held; the analysis must reject this
+}
+
+}  // namespace
+
+int main() {
+  ShardLike s;
+  return static_cast<int>(ReadWithoutLock(s));
+}

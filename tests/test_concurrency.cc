@@ -336,6 +336,46 @@ TEST_F(ConcurrentQueryTest, NodeCacheKeepsGeometryByteIdentical) {
   store_->EnableNodeCache(0);  // restore the suite's shared store
 }
 
+TEST_F(ConcurrentQueryTest, CondVarBackpressureSurvivesProducerChurn) {
+  // tsan regression for the annotated CondVar wait loops in
+  // QueryService (server/query_service.cc): a tiny queue forces
+  // producers to block in Submit on not_full_, workers to sleep on
+  // not_empty_, and Drain to wait on idle_ — all three explicit wait
+  // loops under contention at once. Run under -DDM_SANITIZE=thread in
+  // CI; a wait loop that re-checks its predicate without the lock
+  // shows up here as a race.
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  options.queue_capacity = 2;  // well below the offered load
+  QueryService service(store_, options);
+  const std::vector<QueryRequest> workload = MakeMixedWorkload(
+      scene_->tree.bounds(), scene_->tree.max_lod(), /*count=*/8,
+      /*seed=*/11, /*roi_fraction=*/0.05);
+  std::atomic<int> done{0};
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 16;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const QueryRequest& req = workload[(p + i) % workload.size()];
+        // EXPECT (not ASSERT): gtest fatal failures cannot propagate
+        // out of a non-test thread.
+        EXPECT_TRUE(service.Submit(
+            req, [&done](const Result<DmQueryResult>& r, const QueryTiming&) {
+              if (r.ok()) done.fetch_add(1);
+            }));
+      }
+    });
+  }
+  service.Drain();  // races with the producers: quiescence is momentary
+  for (std::thread& t : producers) t.join();
+  service.Drain();  // now definitive: everything submitted has run
+  EXPECT_EQ(done.load(), kProducers * kPerProducer);
+  service.Shutdown();
+}
+
 TEST_F(ConcurrentQueryTest, ShutdownDrainsQueuedJobs) {
   QueryServiceOptions options;
   options.num_threads = 2;

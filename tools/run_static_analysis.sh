@@ -1,14 +1,22 @@
 #!/usr/bin/env bash
-# Correctness-tooling driver: clang-tidy over every target, then the
-# full ctest suite under each sanitizer configuration.
+# Correctness-tooling driver: clang-tidy over every target, the Clang
+# thread-safety build, the DM-specific lint, then the full ctest suite
+# under each sanitizer configuration.
 #
 #   tools/run_static_analysis.sh [--tidy-only] [--sanitize-only]
+#                                [--annotate-only] [--lint-only]
 #                                [--skip-tsan] [-j N]
 #
-# Exits non-zero on the first stage that fails. Stages whose toolchain
-# is not installed (e.g. clang-tidy on a gcc-only box) are skipped with
-# a warning so the script stays useful on minimal containers; CI images
-# are expected to have the full toolchain.
+#   --annotate-only   run just the thread-safety stage (Clang build
+#                     with -Werror=thread-safety + compile_fail ctests)
+#   --lint-only       run just the dm-lint stage (tools/dm_lint.py)
+#
+# One run reports ALL failing stages: a stage failure is recorded and
+# the remaining stages still execute; the summary lists every failed
+# stage by name and the exit status is non-zero if any failed. Stages
+# whose toolchain is not installed (e.g. clang on a gcc-only box) are
+# skipped with a warning so the script stays useful on minimal
+# containers; CI images are expected to have the full toolchain.
 
 set -u -o pipefail
 
@@ -17,13 +25,19 @@ REPO_ROOT=$(pwd)
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 RUN_TIDY=1
+RUN_ANNOTATE=1
+RUN_LINT=1
 RUN_SAN=1
 SKIP_TSAN=0
 
+only() { RUN_TIDY=0; RUN_ANNOTATE=0; RUN_LINT=0; RUN_SAN=0; }
+
 while [ $# -gt 0 ]; do
   case "$1" in
-    --tidy-only) RUN_SAN=0 ;;
-    --sanitize-only) RUN_TIDY=0 ;;
+    --tidy-only) only; RUN_TIDY=1 ;;
+    --annotate-only) only; RUN_ANNOTATE=1 ;;
+    --lint-only) only; RUN_LINT=1 ;;
+    --sanitize-only) only; RUN_SAN=1 ;;
     --skip-tsan) SKIP_TSAN=1 ;;
     -j) shift; JOBS=$1 ;;
     -j*) JOBS=${1#-j} ;;
@@ -32,24 +46,24 @@ while [ $# -gt 0 ]; do
   shift
 done
 
-FAILURES=0
+FAILED_STAGES=""
 
-note()  { printf '\n== %s ==\n' "$*"; }
-fail()  { echo "FAIL: $*" >&2; FAILURES=$((FAILURES + 1)); }
+note() { printf '\n== %s ==\n' "$*"; }
+fail() { echo "FAIL: $*" >&2; FAILED_STAGES="$FAILED_STAGES $1"; }
 
 # ---- clang-tidy over all targets -----------------------------------
 
 run_tidy() {
   note "clang-tidy"
   if ! command -v clang-tidy >/dev/null 2>&1; then
-    echo "clang-tidy not installed; skipping the lint stage" >&2
+    echo "clang-tidy not installed; skipping the tidy stage" >&2
     return 0
   fi
 
   local build_dir="$REPO_ROOT/build-tidy"
   cmake -B "$build_dir" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release \
         -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || {
-    fail "cmake configure for clang-tidy"; return 1; }
+    fail "clang-tidy" "cmake configure"; return 1; }
 
   # Every first-party translation unit; third-party and generated code
   # never enters the compile database from our source dirs.
@@ -60,15 +74,74 @@ run_tidy() {
   if command -v run-clang-tidy >/dev/null 2>&1; then
     # shellcheck disable=SC2086
     run-clang-tidy -p "$build_dir" -j "$JOBS" -quiet $sources || {
-      fail "clang-tidy findings"; return 1; }
+      fail "clang-tidy" "findings"; return 1; }
   else
     local rc=0
     for f in $sources; do
       clang-tidy -p "$build_dir" --quiet "$f" || rc=1
     done
-    [ "$rc" -eq 0 ] || { fail "clang-tidy findings"; return 1; }
+    [ "$rc" -eq 0 ] || { fail "clang-tidy" "findings"; return 1; }
   fi
   echo "clang-tidy: clean"
+}
+
+# ---- Clang thread-safety analysis ----------------------------------
+
+find_clangxx() {
+  local c
+  for c in clang++ clang++-19 clang++-18 clang++-17 clang++-16; do
+    if command -v "$c" >/dev/null 2>&1; then echo "$c"; return 0; fi
+  done
+  return 1
+}
+
+run_thread_safety() {
+  note "thread-safety (-Werror=thread-safety)"
+  local clangxx
+  if ! clangxx=$(find_clangxx); then
+    echo "clang++ not installed; skipping the thread-safety stage" >&2
+    return 0
+  fi
+
+  local build_dir="$REPO_ROOT/build-threadsafety"
+  cmake -B "$build_dir" -S "$REPO_ROOT" \
+        -DCMAKE_BUILD_TYPE=Release \
+        -DCMAKE_CXX_COMPILER="$clangxx" \
+        -DDM_THREAD_SAFETY=ON >/dev/null || {
+    fail "thread-safety" "configure"; return 1; }
+  cmake --build "$build_dir" -j "$JOBS" >/dev/null || {
+    fail "thread-safety" "build (annotation violation?)"; return 1; }
+  # The negative-compile fixtures prove the gate rejects bad code.
+  (cd "$build_dir" && ctest -L compile_fail --output-on-failure) || {
+    fail "thread-safety" "compile_fail fixtures"; return 1; }
+  echo "thread-safety: clean"
+}
+
+# ---- DM-specific lint ----------------------------------------------
+
+run_dm_lint() {
+  note "dm-lint"
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "python3 not installed; skipping the dm-lint stage" >&2
+    return 0
+  fi
+
+  # The lint walks compile_commands.json; make sure one exists.
+  local build_dir
+  build_dir=$(ls -d "$REPO_ROOT"/build*/compile_commands.json 2>/dev/null |
+              head -n1 | xargs -r dirname)
+  if [ -z "$build_dir" ]; then
+    build_dir="$REPO_ROOT/build-tidy"
+    cmake -B "$build_dir" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release \
+          -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || {
+      fail "dm-lint" "cmake configure"; return 1; }
+  fi
+
+  python3 "$REPO_ROOT/tools/dm_lint.py" --build-dir "$build_dir" || {
+    fail "dm-lint" "findings"; return 1; }
+  python3 "$REPO_ROOT/tests/test_dm_lint.py" >/dev/null 2>&1 || {
+    fail "dm-lint" "unit tests"; return 1; }
+  echo "dm-lint: clean"
 }
 
 # ---- build + ctest under each sanitizer ----------------------------
@@ -80,11 +153,11 @@ run_sanitizer() {
   cmake -B "$build_dir" -S "$REPO_ROOT" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DDM_SANITIZE="$sanitize" >/dev/null || {
-    fail "$name configure"; return 1; }
+    fail "$name" "configure"; return 1; }
   cmake --build "$build_dir" -j "$JOBS" >/dev/null || {
-    fail "$name build"; return 1; }
+    fail "$name" "build"; return 1; }
   (cd "$build_dir" && ctest --output-on-failure -j "$JOBS") || {
-    fail "$name tests"; return 1; }
+    fail "$name" "tests"; return 1; }
 }
 
 sanitizer_available() {
@@ -100,6 +173,8 @@ sanitizer_available() {
 }
 
 [ "$RUN_TIDY" -eq 1 ] && run_tidy
+[ "$RUN_ANNOTATE" -eq 1 ] && run_thread_safety
+[ "$RUN_LINT" -eq 1 ] && run_dm_lint
 
 if [ "$RUN_SAN" -eq 1 ]; then
   if sanitizer_available address; then
@@ -117,8 +192,8 @@ if [ "$RUN_SAN" -eq 1 ]; then
 fi
 
 note "summary"
-if [ "$FAILURES" -ne 0 ]; then
-  echo "$FAILURES stage(s) failed"
+if [ -n "$FAILED_STAGES" ]; then
+  echo "failed stages:$FAILED_STAGES"
   exit 1
 fi
 echo "all stages passed (or were skipped for missing toolchain)"
